@@ -1,0 +1,536 @@
+package thermalsched
+
+import (
+	"fmt"
+	"testing"
+
+	"thermalsched/internal/cosynth"
+	"thermalsched/internal/dtm"
+	"thermalsched/internal/experiments"
+	"thermalsched/internal/floorplan"
+	"thermalsched/internal/hotspot"
+	"thermalsched/internal/power"
+	"thermalsched/internal/sched"
+	"thermalsched/internal/sim"
+	"thermalsched/internal/taskgraph"
+	"thermalsched/internal/techlib"
+)
+
+// The benchmarks below regenerate every evaluation artifact of the
+// paper. Each table bench recomputes the full table per iteration and,
+// on the first iteration, logs the rows in the paper's layout so
+// `go test -bench . -v` doubles as the reproduction harness
+// (cmd/tables prints the same tables without the timing).
+
+func newSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	s, err := experiments.NewSuite()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.FloorplanGenerations = 10
+	return s
+}
+
+// BenchmarkTable1CoSynthesis regenerates the co-synthesis half of
+// Table 1: baseline and power heuristics 1–3 on customized
+// architectures for Bm1–Bm4.
+func BenchmarkTable1CoSynthesis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(b)
+		tab, err := s.RunTable1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tab)
+		}
+	}
+}
+
+// BenchmarkTable1Platform regenerates the platform half of Table 1 only
+// (no co-synthesis search), the cheap headline comparison.
+func BenchmarkTable1Platform(b *testing.B) {
+	s := newSuite(b)
+	policies := []sched.Policy{sched.Baseline, sched.MinTaskPower, sched.MinPEPower, sched.MinTaskEnergy}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range s.Graphs {
+			for _, p := range policies {
+				res, err := cosynth.RunPlatform(g, s.Lib, cosynth.PlatformConfig{Policy: p})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.Logf("%s %-12s totPow=%6.2f maxT=%7.2f avgT=%7.2f",
+						g.Name, p, res.Metrics.TotalPower, res.Metrics.MaxTemp, res.Metrics.AvgTemp)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkTable2ThermalCoSynthesis regenerates Table 2: power-aware
+// (heuristic 3) vs thermal-aware on the customized architecture.
+func BenchmarkTable2ThermalCoSynthesis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(b)
+		tab, err := s.RunTable2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tab)
+		}
+	}
+}
+
+// BenchmarkTable3ThermalPlatform regenerates Table 3: power-aware vs
+// thermal-aware on the platform architecture.
+func BenchmarkTable3ThermalPlatform(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newSuite(b)
+		tab, err := s.RunTable3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tab)
+		}
+	}
+}
+
+// BenchmarkFigure1Flows exercises the two flows of the paper's Figure 1
+// end to end (the figure is a flowchart, so its artifact is the flows
+// themselves): Fig. 1a co-synthesis with thermal-aware floorplanning and
+// Fig. 1b platform-based design with thermal inquiries.
+func BenchmarkFigure1Flows(b *testing.B) {
+	lib, err := techlib.StandardLibrary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := taskgraph.Benchmark("Bm1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Fig1a_CoSynthesis", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cosynth.RunCoSynthesis(g, lib, cosynth.CoSynthConfig{
+				Policy: sched.ThermalAware, FloorplanGenerations: 10,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Fig1b_Platform", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cosynth.RunPlatform(g, lib, cosynth.PlatformConfig{
+				Policy: sched.ThermalAware,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationFloorplanGAvsSA is ablation A1 (DESIGN.md): the GA
+// floorplanner of reference [3] against a simulated-annealing baseline
+// on the same thermal objective.
+func BenchmarkAblationFloorplanGAvsSA(b *testing.B) {
+	lib, err := techlib.StandardLibrary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	hs := hotspot.DefaultConfig()
+	blocks := make([]floorplan.Block, 0, 4)
+	powerMap := map[string]float64{}
+	for i, spec := range techlib.CoSynthesisSpecs() {
+		name := fmt.Sprintf("pe%d", i)
+		ti, _ := lib.PETypeIndex(spec.Name)
+		blocks = append(blocks, floorplan.Block{
+			Name: name, Area: lib.PEType(ti).Area, MinAspect: 0.5, MaxAspect: 2,
+		})
+		powerMap[name] = 3 + float64(i)*2 // uneven heat, the interesting case
+	}
+	eval := func(fp *floorplan.Floorplan, pw map[string]float64) (float64, error) {
+		m, err := hotspot.NewModel(fp, hs)
+		if err != nil {
+			return 0, err
+		}
+		t, err := m.SteadyState(pw)
+		if err != nil {
+			return 0, err
+		}
+		return t.Max(), nil
+	}
+	b.Run("GA", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := floorplan.DefaultGAConfig()
+			cfg.Generations = 20
+			cfg.Eval = eval
+			cfg.Power = powerMap
+			res, err := floorplan.RunGA(blocks, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.Logf("GA: peak %.2f °C, area %.2f mm², %d evals",
+					res.PeakTemp, res.Area*1e6, res.Evals)
+			}
+		}
+	})
+	b.Run("SA", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := floorplan.DefaultSAConfig()
+			cfg.Eval = eval
+			cfg.Power = powerMap
+			res, err := floorplan.RunSA(blocks, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.Logf("SA: peak %.2f °C, area %.2f mm², %d evals",
+					res.PeakTemp, res.Area*1e6, res.Evals)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationTempWeight is ablation A2 (DESIGN.md): the DC
+// temperature-weight sweep on Bm2, showing the feasibility/temperature
+// trade-off the DC equation's last term controls.
+func BenchmarkAblationTempWeight(b *testing.B) {
+	lib, err := techlib.StandardLibrary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := taskgraph.Benchmark("Bm2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []float64{0, 5, 10, 20, 40} {
+		b.Run(fmt.Sprintf("w=%g", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := sched.DefaultConfig(sched.ThermalAware)
+				cfg.TempWeight = w
+				res, err := cosynth.RunPlatform(g, lib, cosynth.PlatformConfig{
+					Policy: sched.ThermalAware, Sched: &cfg,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.Logf("w=%g: maxT=%.2f avgT=%.2f makespan=%.0f feasible=%v",
+						w, res.Metrics.MaxTemp, res.Metrics.AvgTemp,
+						res.Metrics.Makespan, res.Metrics.Feasible)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExtensionLeakageLoop is extension A3 (DESIGN.md): the
+// temperature-dependent leakage fixed point the paper's introduction
+// motivates, applied to the platform's schedule-time power.
+func BenchmarkExtensionLeakageLoop(b *testing.B) {
+	lib, err := techlib.StandardLibrary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := taskgraph.Benchmark("Bm1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := cosynth.RunPlatform(g, lib, cosynth.PlatformConfig{Policy: sched.MinTaskEnergy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dyn, err := res.Schedule.PEAveragePower(g.Deadline)
+	if err != nil {
+		b.Fatal(err)
+	}
+	leak := power.DefaultLeakage()
+	solve := func(p []float64) ([]float64, error) {
+		t, err := res.Model.SteadyStateVec(p)
+		if err != nil {
+			return nil, err
+		}
+		return t.Values(), nil
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fp, err := leak.FixedPoint(dyn, solve, 1e-6, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			noLeak, _ := res.Model.SteadyStateVec(dyn)
+			b.Logf("leakage loop: %d iterations, peak %.2f °C (vs %.2f without leakage)",
+				fp.Iterations, maxOf(fp.Temps), noLeak.Max())
+		}
+	}
+}
+
+func maxOf(v []float64) float64 {
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// BenchmarkExtensionDTM compares dynamic-thermal-management throttling
+// under the baseline and the thermal-aware schedules: the statically
+// balanced schedule should need less run-time throttling (extension to
+// the paper's reference [2]).
+func BenchmarkExtensionDTM(b *testing.B) {
+	lib, err := techlib.StandardLibrary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := taskgraph.Benchmark("Bm1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []sched.Policy{sched.Baseline, sched.ThermalAware} {
+		b.Run(p.String(), func(b *testing.B) {
+			run, err := cosynth.RunPlatform(g, lib, cosynth.PlatformConfig{Policy: p})
+			if err != nil {
+				b.Fatal(err)
+			}
+			exec, err := sim.Execute(run.Schedule, sim.Options{MinFactor: 1, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			trace, err := exec.Trace(2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			samples, err := trace.Reorder(run.Model.BlockNames())
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Loop the schedule several times so the die approaches its
+			// operating point (0.02 s per schedule time unit).
+			looped := make([][]float64, 0, len(samples)*10)
+			for k := 0; k < 10; k++ {
+				looped = append(looped, samples...)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ctrl, err := dtm.NewToggleController(88, 3, 0.4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := dtm.Run(run.Model, ctrl, looped, 2*0.02)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.Logf("%s: peak %.2f °C, throttled %.1f%%, slowdown %.2f%%",
+						p, res.PeakTemp, 100*res.ThrottledFraction, 100*res.Slowdown())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRobustnessSweep runs the randomized power-aware vs
+// thermal-aware comparison (EXPERIMENTS.md, robustness study).
+func BenchmarkRobustnessSweep(b *testing.B) {
+	lib, err := techlib.StandardLibrary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunSweep(lib, 20, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", res)
+		}
+	}
+}
+
+// BenchmarkSimExecute measures the discrete-event executor.
+func BenchmarkSimExecute(b *testing.B) {
+	lib, err := techlib.StandardLibrary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := taskgraph.Benchmark("Bm4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run, err := cosynth.RunPlatform(g, lib, cosynth.PlatformConfig{Policy: sched.MinTaskEnergy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Execute(run.Schedule, sim.Options{MinFactor: 0.7, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Micro-benchmarks for the substrates.
+
+func BenchmarkHotSpotSteadyState(b *testing.B) {
+	fp, err := floorplan.Grid("b", 16, 4e-6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := hotspot.NewModel(fp, hotspot.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := make([]float64, 16)
+	for i := range p {
+		p[i] = float64(i%4) + 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.SteadyStateVec(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHotSpotModelBuild(b *testing.B) {
+	fp, err := floorplan.Grid("b", 16, 4e-6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hotspot.NewModel(fp, hotspot.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHotSpotTransientStep(b *testing.B) {
+	fp, err := floorplan.Grid("b", 16, 4e-6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := hotspot.NewModel(fp, hotspot.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := m.NewTransient(0.01)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := make([]float64, 16)
+	for i := range p {
+		p[i] = 2
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.StepVec(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSchedulerPolicies(b *testing.B) {
+	lib, err := techlib.StandardLibrary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := taskgraph.Benchmark("Bm4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	arch, fp, _, oracle, err := cosynth.BuildPlatform(lib, cosynth.DefaultBusTimePerUnit, hotspot.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = fp
+	for _, p := range sched.Policies() {
+		b.Run(p.String(), func(b *testing.B) {
+			cfg := sched.DefaultConfig(p)
+			if p == sched.ThermalAware {
+				cfg.Oracle = oracle
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := sched.AllocateAndSchedule(g, arch, lib, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFloorplanPack(b *testing.B) {
+	blocks := make([]floorplan.Block, 8)
+	for i := range blocks {
+		blocks[i] = floorplan.Block{
+			Name: fmt.Sprintf("b%d", i), Area: 1e-6 * float64(1+i%3),
+			MinAspect: 0.5, MaxAspect: 2,
+		}
+	}
+	e := floorplan.InitialExpression(len(blocks))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := floorplan.Pack(e, blocks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTaskGraphGenerate(b *testing.B) {
+	p := taskgraph.GenParams{
+		Name: "bench", Tasks: 50, Edges: 70, Deadline: 2000,
+		Types: 8, Sources: 1, MaxData: 40, Seed: 7,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := taskgraph.Generate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConditionalTaskGraphs exercises the conditional-task-graph
+// extension (the Xie & Wolf substrate the paper's ASP builds on):
+// worst-case scheduling of a CTG plus Bernoulli branch realization.
+func BenchmarkConditionalTaskGraphs(b *testing.B) {
+	lib, err := techlib.StandardLibrary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := taskgraph.Generate(taskgraph.GenParams{
+		Name: "ctg", Tasks: 40, Edges: 60, Deadline: 2200,
+		Types: taskgraph.NumTaskTypes, Sources: 1, MaxData: 20,
+		BranchFraction: 0.5, Seed: 11,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	run, err := cosynth.RunPlatform(g, lib, cosynth.PlatformConfig{Policy: sched.MinTaskEnergy})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Execute(run.Schedule, sim.Options{
+			MinFactor: 0.8, Seed: int64(i), Conditional: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			exp, err := run.Schedule.ExpectedEnergy()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Logf("CTG: %d/%d tasks executed, realized energy %.0f, expected %.0f, worst case %.0f",
+				res.Executed, g.NumTasks(), res.Energy, exp, run.Schedule.TotalEnergy())
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Command cosynth runs the paper's co-synthesis flow (Fig. 1a): deadline-
+// driven PE selection with floorplanning and thermal extraction in the
+// loop, then reports the customized architecture and its metrics.
+//
+// Usage:
+//
+//	cosynth -benchmark Bm2 -policy thermal
+//	cosynth -graph my.tg -policy h3 -flp out.flp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"thermalsched/internal/cosynth"
+	"thermalsched/internal/sched"
+	"thermalsched/internal/taskgraph"
+	"thermalsched/internal/techlib"
+)
+
+func main() {
+	var (
+		benchmark = flag.String("benchmark", "", "paper benchmark (Bm1..Bm4)")
+		graphFile = flag.String("graph", "", "task graph file (.tg)")
+		policyStr = flag.String("policy", "thermal", "ASP policy: baseline, h1, h2, h3, thermal")
+		maxPEs    = flag.Int("maxpes", 6, "maximum PEs in the customized architecture")
+		fpGens    = flag.Int("fpgens", 30, "GA floorplanner generations per candidate")
+		flpOut    = flag.String("flp", "", "write the final floorplan to this .flp file")
+		gantt     = flag.Bool("gantt", false, "print the per-PE timeline")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*benchmark, *graphFile)
+	if err != nil {
+		fatal(err)
+	}
+	policy, err := sched.ParsePolicy(*policyStr)
+	if err != nil {
+		fatal(err)
+	}
+	lib, err := techlib.StandardLibrary()
+	if err != nil {
+		fatal(err)
+	}
+	res, err := cosynth.RunCoSynthesis(g, lib, cosynth.CoSynthConfig{
+		Policy:               policy,
+		MaxPEs:               *maxPEs,
+		FloorplanGenerations: *fpGens,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	m := res.Metrics
+	fmt.Printf("graph       %s (%d tasks, %d edges, deadline %g)\n",
+		g.Name, g.NumTasks(), g.NumEdges(), g.Deadline)
+	fmt.Printf("policy      %s\n", policy)
+	fmt.Printf("architecture (%d PEs, cost %.0f):\n", len(res.Arch.PEs), m.Cost)
+	for _, pe := range res.Arch.PEs {
+		t := lib.PEType(pe.Type)
+		fmt.Printf("  %-6s %-10s cost %5.0f  area %5.1f mm²\n",
+			pe.Name, t.Name, t.Cost, t.Area*1e6)
+	}
+	feas := "meets deadline"
+	if !m.Feasible {
+		feas = "MISSES deadline"
+	}
+	fmt.Printf("makespan    %.1f (%s)\n", m.Makespan, feas)
+	fmt.Printf("total pow   %.2f W\n", m.TotalPower)
+	fmt.Printf("max temp    %.2f °C\n", m.MaxTemp)
+	fmt.Printf("avg temp    %.2f °C\n", m.AvgTemp)
+	fmt.Printf("floorplan   %s\n", res.Plan)
+
+	if *flpOut != "" {
+		f, err := os.Create(*flpOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.Plan.Write(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *gantt {
+		fmt.Print(res.Schedule.Gantt())
+	}
+}
+
+func loadGraph(benchmark, file string) (*taskgraph.Graph, error) {
+	switch {
+	case benchmark != "" && file != "":
+		return nil, fmt.Errorf("use either -benchmark or -graph, not both")
+	case benchmark != "":
+		return taskgraph.Benchmark(benchmark)
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return taskgraph.ReadGraph(f)
+	default:
+		return nil, fmt.Errorf("need -benchmark or -graph")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cosynth:", err)
+	os.Exit(1)
+}

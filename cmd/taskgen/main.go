@@ -1,0 +1,96 @@
+// Command taskgen generates TGFF-like random task graphs or emits the
+// paper's benchmark graphs, in the repository's .tg format or Graphviz
+// DOT.
+//
+// Usage:
+//
+//	taskgen -benchmark Bm1 -o bm1.tg
+//	taskgen -tasks 30 -edges 40 -deadline 1200 -seed 7 -dot graph.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"thermalsched/internal/taskgraph"
+)
+
+func main() {
+	var (
+		benchmark = flag.String("benchmark", "", "emit a paper benchmark (Bm1..Bm4) instead of generating")
+		tasks     = flag.Int("tasks", 20, "number of tasks")
+		edges     = flag.Int("edges", 25, "number of edges")
+		deadline  = flag.Float64("deadline", 1000, "completion deadline (time units)")
+		types     = flag.Int("types", taskgraph.NumTaskTypes, "number of task types")
+		sources   = flag.Int("sources", 1, "number of entry tasks")
+		maxData   = flag.Float64("maxdata", 40, "maximum communication volume per edge")
+		branch    = flag.Float64("branchfrac", 0, "fraction of fan-out tasks made conditional branches (CTG)")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		name      = flag.String("name", "graph", "graph name")
+		out       = flag.String("o", "", "output .tg file (default stdout)")
+		dot       = flag.String("dot", "", "also write Graphviz DOT to this file")
+		stats     = flag.Bool("stats", false, "print graph statistics to stderr")
+	)
+	flag.Parse()
+
+	var g *taskgraph.Graph
+	var err error
+	if *benchmark != "" {
+		g, err = taskgraph.Benchmark(*benchmark)
+	} else {
+		g, err = taskgraph.Generate(taskgraph.GenParams{
+			Name: *name, Tasks: *tasks, Edges: *edges, Deadline: *deadline,
+			Types: *types, Sources: *sources, MaxData: *maxData,
+			BranchFraction: *branch, Seed: *seed,
+		})
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := g.Write(w); err != nil {
+		fatal(err)
+	}
+	if *dot != "" {
+		f, err := os.Create(*dot)
+		if err != nil {
+			fatal(err)
+		}
+		if err := g.WriteDOT(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	if *stats {
+		lv, err := g.Levels()
+		if err != nil {
+			fatal(err)
+		}
+		depth := 0
+		for _, l := range lv {
+			if l > depth {
+				depth = l
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%s: %d tasks, %d edges, depth %d, %d sources, %d sinks, deadline %g\n",
+			g.Name, g.NumTasks(), g.NumEdges(), depth, len(g.Sources()), len(g.Sinks()), g.Deadline)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "taskgen:", err)
+	os.Exit(1)
+}

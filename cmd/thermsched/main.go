@@ -1,0 +1,110 @@
+// Command thermsched runs one ASP policy on a task graph mapped onto the
+// paper's 4-PE platform and reports the schedule, power and steady-state
+// temperatures (the Fig. 1b flow).
+//
+// Usage:
+//
+//	thermsched -benchmark Bm1 -policy thermal
+//	thermsched -graph my.tg -policy h3 -gantt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"thermalsched/internal/cosynth"
+	"thermalsched/internal/sched"
+	"thermalsched/internal/taskgraph"
+	"thermalsched/internal/techlib"
+)
+
+func main() {
+	var (
+		benchmark = flag.String("benchmark", "", "paper benchmark (Bm1..Bm4)")
+		graphFile = flag.String("graph", "", "task graph file (.tg)")
+		policyStr = flag.String("policy", "thermal", "ASP policy: baseline, h1, h2, h3, thermal")
+		gantt     = flag.Bool("gantt", false, "print the per-PE timeline")
+		tempW     = flag.Float64("tempweight", 0, "override the thermal DC weight (0 = default)")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*benchmark, *graphFile)
+	if err != nil {
+		fatal(err)
+	}
+	policy, err := sched.ParsePolicy(*policyStr)
+	if err != nil {
+		fatal(err)
+	}
+	lib, err := techlib.StandardLibrary()
+	if err != nil {
+		fatal(err)
+	}
+	cfg := cosynth.PlatformConfig{Policy: policy}
+	if *tempW > 0 {
+		sc := sched.DefaultConfig(policy)
+		sc.TempWeight = *tempW
+		cfg.Sched = &sc
+	}
+	res, err := cosynth.RunPlatform(g, lib, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	m := res.Metrics
+	fmt.Printf("graph      %s (%d tasks, %d edges, deadline %g)\n",
+		g.Name, g.NumTasks(), g.NumEdges(), g.Deadline)
+	fmt.Printf("policy     %s\n", policy)
+	fmt.Printf("makespan   %.1f (%s)\n", m.Makespan, feasStr(m.Feasible))
+	fmt.Printf("total pow  %.2f W\n", m.TotalPower)
+	fmt.Printf("max temp   %.2f °C\n", m.MaxTemp)
+	fmt.Printf("avg temp   %.2f °C\n", m.AvgTemp)
+
+	pow, err := res.Schedule.PEAveragePower(g.Deadline)
+	if err != nil {
+		fatal(err)
+	}
+	temps, err := res.Oracle.Temps(pow)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("per-PE:")
+	for i, name := range res.Arch.PENames() {
+		t, _ := temps.Of(name)
+		fmt.Printf("  %-6s %6.2f W  %7.2f °C\n", name, pow[i], t)
+	}
+	if *gantt {
+		fmt.Print(res.Schedule.Gantt())
+	}
+}
+
+func loadGraph(benchmark, file string) (*taskgraph.Graph, error) {
+	switch {
+	case benchmark != "" && file != "":
+		return nil, fmt.Errorf("use either -benchmark or -graph, not both")
+	case benchmark != "":
+		return taskgraph.Benchmark(benchmark)
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return taskgraph.ReadGraph(f)
+	default:
+		return nil, fmt.Errorf("need -benchmark or -graph")
+	}
+}
+
+func feasStr(ok bool) string {
+	if ok {
+		return "meets deadline"
+	}
+	return "MISSES deadline"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "thermsched:", err)
+	os.Exit(1)
+}

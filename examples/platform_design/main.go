@@ -1,0 +1,52 @@
+// Platform design (paper Fig. 1b): evaluate every ASP policy on the
+// fixed platform of four identical PEs across all four paper benchmarks,
+// reproducing the platform columns of Tables 1 and 3.
+//
+//	go run ./examples/platform_design
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"thermalsched"
+)
+
+func main() {
+	lib, err := thermalsched.StandardLibrary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	graphs, err := thermalsched.Benchmarks()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Platform-based design flow: four identical PEs, fixed floorplan.")
+	fmt.Printf("%-16s %-12s %8s %9s %9s %10s\n",
+		"benchmark", "policy", "TotPow", "MaxTemp", "AvgTemp", "makespan")
+
+	for _, g := range graphs {
+		var baseMax float64
+		for _, policy := range thermalsched.Policies() {
+			res, err := thermalsched.RunPlatform(g, lib, policy)
+			if err != nil {
+				log.Fatal(err)
+			}
+			m := res.Metrics
+			note := ""
+			if policy == thermalsched.Baseline {
+				baseMax = m.MaxTemp
+			} else if d := baseMax - m.MaxTemp; d > 0 {
+				note = fmt.Sprintf("  (-%.1f °C vs baseline)", d)
+			}
+			if !m.Feasible {
+				note += "  MISSES DEADLINE"
+			}
+			fmt.Printf("%-16s %-12s %8.2f %9.2f %9.2f %10.1f%s\n",
+				fmt.Sprintf("%s/%d/%d/%.0f", g.Name, g.NumTasks(), g.NumEdges(), g.Deadline),
+				policy, m.TotalPower, m.MaxTemp, m.AvgTemp, m.Makespan, note)
+		}
+		fmt.Println()
+	}
+}

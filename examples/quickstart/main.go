@@ -1,0 +1,40 @@
+// Quickstart: schedule a paper benchmark on the 4-PE platform with the
+// thermal-aware ASP and print the resulting temperatures.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"thermalsched"
+)
+
+func main() {
+	lib, err := thermalsched.StandardLibrary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := thermalsched.Benchmark("Bm1")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark %s: %d tasks, %d edges, deadline %.0f\n\n",
+		g.Name, g.NumTasks(), g.NumEdges(), g.Deadline)
+
+	// Compare the traditional baseline against the thermal-aware ASP.
+	for _, policy := range []thermalsched.Policy{thermalsched.Baseline, thermalsched.ThermalAware} {
+		res, err := thermalsched.RunPlatform(g, lib, policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := res.Metrics
+		fmt.Printf("%-10s makespan %6.1f  total %5.2f W  max %6.2f °C  avg %6.2f °C\n",
+			policy, m.Makespan, m.TotalPower, m.MaxTemp, m.AvgTemp)
+	}
+
+	fmt.Println("\nThe thermal-aware ASP balances heat across the platform's PEs,")
+	fmt.Println("lowering the peak and average die temperature at the same deadline.")
+}

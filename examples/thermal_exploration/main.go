@@ -1,0 +1,122 @@
+// Thermal exploration: beyond the paper's steady-state tables, this
+// example exercises the substrates directly — a thermal-aware GA
+// floorplan for a heterogeneous SoC, a transient warm-up simulation of a
+// real schedule's power profile, and the temperature-dependent leakage
+// fixed point the paper's introduction motivates.
+//
+//	go run ./examples/thermal_exploration
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"thermalsched"
+)
+
+func main() {
+	lib, err := thermalsched.StandardLibrary()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Thermal-aware floorplanning of a small heterogeneous SoC.
+	blocks := []thermalsched.FloorplanBlock{
+		{Name: "cpu0", Area: 16e-6, MinAspect: 0.5, MaxAspect: 2},
+		{Name: "cpu1", Area: 16e-6, MinAspect: 0.5, MaxAspect: 2},
+		{Name: "dsp", Area: 9e-6, MinAspect: 0.5, MaxAspect: 2},
+		{Name: "accel", Area: 25e-6, MinAspect: 0.5, MaxAspect: 2},
+	}
+	hot := map[string]float64{"cpu0": 7, "cpu1": 7, "dsp": 2, "accel": 4}
+	cfg := thermalsched.DefaultGAConfig()
+	cfg.Generations = 40
+	cfg.Eval = func(fp *thermalsched.Floorplan, pw map[string]float64) (float64, error) {
+		m, err := thermalsched.NewThermalModel(fp, thermalsched.DefaultThermalConfig())
+		if err != nil {
+			return 0, err
+		}
+		t, err := m.SteadyState(pw)
+		if err != nil {
+			return 0, err
+		}
+		return t.Max(), nil
+	}
+	cfg.Power = hot
+	fpRes, err := thermalsched.FloorplanGA(blocks, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("1. thermal-aware floorplan: %s, peak %.2f °C\n\n", fpRes.Plan, fpRes.PeakTemp)
+
+	// 2. Transient warm-up of a real platform schedule.
+	g, err := thermalsched.Benchmark("Bm2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := thermalsched.RunPlatform(g, lib, thermalsched.ThermalAware)
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile, err := thermalsched.PowerProfileOf(run.Schedule)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// One schedule pass is short; loop it to watch the die warm toward
+	// steady state (0.1 s per schedule time unit keeps the demo quick).
+	const timeScale = 0.1
+	samples, err := profile.Sample(10) // 10 time units per sample
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := run.Model.NewTransient(10 * timeScale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("2. transient warm-up (schedule looped 6x):")
+	for pass := 0; pass < 6; pass++ {
+		var peak float64
+		for _, s := range samples {
+			temps, err := tr.StepVec(s)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if t := temps.Max(); t > peak {
+				peak = t
+			}
+		}
+		fmt.Printf("   after pass %d (t=%6.1f s): peak %.2f °C\n", pass+1, tr.Time(), peak)
+	}
+	fmt.Println()
+
+	// 3. Leakage feedback: how much extra heat does temperature-dependent
+	// leakage add at the operating point?
+	dyn, err := run.Schedule.PEAveragePower(g.Deadline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	noLeak, err := run.Model.SteadyStateVec(dyn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	leak := thermalsched.DefaultLeakage()
+	fp, err := leak.FixedPoint(dyn, func(p []float64) ([]float64, error) {
+		t, err := run.Model.SteadyStateVec(p)
+		if err != nil {
+			return nil, err
+		}
+		return t.Values(), nil
+	}, 1e-6, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var peakWith float64
+	var extra float64
+	for i, t := range fp.Temps {
+		if t > peakWith {
+			peakWith = t
+		}
+		extra += fp.Leakage[i]
+	}
+	fmt.Printf("3. leakage feedback: peak %.2f °C -> %.2f °C (+%.2f W leakage, %d iterations)\n",
+		noLeak.Max(), peakWith, extra, fp.Iterations)
+}

@@ -1,0 +1,399 @@
+package cosynth
+
+import (
+	"fmt"
+	"math"
+
+	"thermalsched/internal/floorplan"
+	"thermalsched/internal/hotspot"
+	"thermalsched/internal/sched"
+	"thermalsched/internal/taskgraph"
+	"thermalsched/internal/techlib"
+)
+
+// CoSynthConfig parameterizes the co-synthesis flow (Fig. 1a).
+type CoSynthConfig struct {
+	// Policy selects the ASP variant used while evaluating candidate
+	// architectures and for the final schedule.
+	Policy sched.Policy
+	// Sched overrides the scheduler configuration (Policy is forced).
+	Sched *sched.Config
+	// CandidateTypes are the library PE type names co-synthesis may
+	// instantiate. Nil means the co-synthesis palette
+	// (techlib.CoSynthesisSpecs names).
+	CandidateTypes []string
+	// MaxPEs caps the architecture size. Zero means 6.
+	MaxPEs int
+	// BusTimePerUnit as in PlatformConfig.
+	BusTimePerUnit float64
+	// HotSpot overrides the thermal model configuration.
+	HotSpot *hotspot.Config
+	// FloorplanGenerations sizes the GA floorplanner effort per candidate
+	// architecture. Zero means 30.
+	FloorplanGenerations int
+	// Seed drives the GA floorplanner.
+	Seed int64
+}
+
+func (c *CoSynthConfig) withDefaults(lib *techlib.Library) (CoSynthConfig, error) {
+	out := *c
+	if out.CandidateTypes == nil {
+		for _, s := range techlib.CoSynthesisSpecs() {
+			out.CandidateTypes = append(out.CandidateTypes, s.Name)
+		}
+	}
+	for _, name := range out.CandidateTypes {
+		if _, ok := lib.PETypeIndex(name); !ok {
+			return out, fmt.Errorf("cosynth: candidate PE type %q not in library", name)
+		}
+	}
+	if out.MaxPEs == 0 {
+		out.MaxPEs = 6
+	}
+	if out.MaxPEs < 1 {
+		return out, fmt.Errorf("cosynth: MaxPEs %d invalid", out.MaxPEs)
+	}
+	if out.BusTimePerUnit == 0 {
+		out.BusTimePerUnit = DefaultBusTimePerUnit
+	}
+	if out.FloorplanGenerations == 0 {
+		out.FloorplanGenerations = 30
+	}
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+	return out, nil
+}
+
+// RunCoSynthesis executes the co-synthesis flow: starting from the
+// cheapest viable single-PE architecture, it grows/upgrades the PE set
+// until the deadline is met, floorplanning every candidate (with the
+// thermal objective when the policy is thermal-aware) and scheduling
+// with the configured ASP; finally it prunes PEs that the deadline does
+// not need, minimizing cost.
+func RunCoSynthesis(g *taskgraph.Graph, lib *techlib.Library, cfg CoSynthConfig) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	c, err := cfg.withDefaults(lib)
+	if err != nil {
+		return nil, err
+	}
+
+	// Candidate type indices sorted by cost (cheapest first).
+	type cand struct {
+		name string
+		idx  int
+		cost float64
+	}
+	var cands []cand
+	for _, name := range c.CandidateTypes {
+		i, _ := lib.PETypeIndex(name)
+		cands = append(cands, cand{name: name, idx: i, cost: lib.PEType(i).Cost})
+	}
+	for i := 0; i < len(cands); i++ {
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].cost < cands[i].cost {
+				cands[i], cands[j] = cands[j], cands[i]
+			}
+		}
+	}
+
+	// Task types used by the graph (the initial PE must cover them all).
+	used := map[int]bool{}
+	for _, t := range g.Tasks() {
+		used[t.Type] = true
+	}
+	covers := func(typeIdx int) bool {
+		for tt := range used {
+			if _, ok := lib.Lookup(typeIdx, tt); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	unionCovers := func(types []int) bool {
+		for tt := range used {
+			found := false
+			for _, ti := range types {
+				if _, ok := lib.Lookup(ti, tt); ok {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return len(types) > 0
+	}
+
+	var seedType *cand
+	for i := range cands {
+		if covers(cands[i].idx) {
+			seedType = &cands[i]
+			break
+		}
+	}
+	if seedType == nil {
+		return nil, fmt.Errorf("cosynth: no candidate PE type covers all task types of %q", g.Name)
+	}
+
+	types := []int{seedType.idx} // current architecture as a type multiset
+	best, err := evaluate(g, lib, types, c)
+	if err != nil {
+		return nil, err
+	}
+
+	// Grow until feasible: at each step try appending each candidate type
+	// and upgrading each existing slot to each candidate type. Among
+	// infeasible variants the lowest makespan wins (progress towards the
+	// deadline); once variants are feasible, the thermal-aware flow picks
+	// the coolest (the Fig. 1a "meets requirement?" check includes the
+	// thermal goal) while the power-aware flows pick the cheapest (the
+	// classic co-synthesis cost objective).
+	for !best.Metrics.Feasible && len(types) < c.MaxPEs {
+		type option struct {
+			types []int
+			res   *Result
+		}
+		var bestOpt *option
+		better := func(a, b *Result) bool {
+			if a.Metrics.Feasible != b.Metrics.Feasible {
+				return a.Metrics.Feasible
+			}
+			if !a.Metrics.Feasible {
+				if math.Abs(a.Metrics.Makespan-b.Metrics.Makespan) > 1e-9 {
+					return a.Metrics.Makespan < b.Metrics.Makespan
+				}
+				return a.Metrics.Cost < b.Metrics.Cost
+			}
+			if c.Policy == sched.ThermalAware {
+				if math.Abs(a.Metrics.MaxTemp-b.Metrics.MaxTemp) > 1e-9 {
+					return a.Metrics.MaxTemp < b.Metrics.MaxTemp
+				}
+			}
+			if a.Metrics.Cost != b.Metrics.Cost {
+				return a.Metrics.Cost < b.Metrics.Cost
+			}
+			return a.Metrics.Makespan < b.Metrics.Makespan
+		}
+		consider := func(ts []int) error {
+			r, err := evaluate(g, lib, ts, c)
+			if err != nil {
+				return err
+			}
+			if bestOpt == nil || better(r, bestOpt.res) {
+				bestOpt = &option{types: ts, res: r}
+			}
+			return nil
+		}
+		for _, cd := range cands {
+			grown := append(append([]int{}, types...), cd.idx)
+			if err := consider(grown); err != nil {
+				return nil, err
+			}
+		}
+		for slot := range types {
+			for _, cd := range cands {
+				if cd.idx == types[slot] {
+					continue
+				}
+				upgraded := append([]int{}, types...)
+				upgraded[slot] = cd.idx
+				if !unionCovers(upgraded) {
+					continue
+				}
+				if err := consider(upgraded); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if bestOpt == nil ||
+			(!bestOpt.res.Metrics.Feasible && bestOpt.res.Metrics.Makespan >= best.Metrics.Makespan-1e-9) {
+			break // no progress; return the best infeasible solution
+		}
+		types, best = bestOpt.types, bestOpt.res
+	}
+
+	// Thermal-aware growth phase: the Fig. 1a loop keeps iterating while
+	// the thermal requirement improves, so once feasible the thermal flow
+	// continues to add or swap PEs as long as peak temperature drops
+	// meaningfully — trading cost for heat spreading, which is what
+	// distinguishes the thermal-aware customized architectures of the
+	// paper's Table 2.
+	if c.Policy == sched.ThermalAware && best.Metrics.Feasible {
+		for len(types) < c.MaxPEs {
+			type option struct {
+				types []int
+				res   *Result
+			}
+			var bestOpt *option
+			consider := func(ts []int) error {
+				r, err := evaluate(g, lib, ts, c)
+				if err != nil {
+					return err
+				}
+				if !r.Metrics.Feasible {
+					return nil
+				}
+				if bestOpt == nil || r.Metrics.MaxTemp < bestOpt.res.Metrics.MaxTemp {
+					bestOpt = &option{types: ts, res: r}
+				}
+				return nil
+			}
+			for _, cd := range cands {
+				grown := append(append([]int{}, types...), cd.idx)
+				if err := consider(grown); err != nil {
+					return nil, err
+				}
+			}
+			for slot := range types {
+				for _, cd := range cands {
+					if cd.idx == types[slot] {
+						continue
+					}
+					swapped := append([]int{}, types...)
+					swapped[slot] = cd.idx
+					if !unionCovers(swapped) {
+						continue
+					}
+					if err := consider(swapped); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if bestOpt == nil || bestOpt.res.Metrics.MaxTemp >= best.Metrics.MaxTemp-0.5 {
+				break
+			}
+			types, best = bestOpt.types, bestOpt.res
+		}
+	}
+
+	// Prune: drop PEs whose removal keeps the deadline. The power-aware
+	// flows prune for cost alone; the thermal-aware flow additionally
+	// refuses prunes that heat the die (removing a PE concentrates
+	// power), mirroring the thermal goal in the flow's requirement check.
+	if best.Metrics.Feasible {
+		for changed := true; changed && len(types) > 1; {
+			changed = false
+			for slot := 0; slot < len(types); slot++ {
+				pruned := append(append([]int{}, types[:slot]...), types[slot+1:]...)
+				if !unionCovers(pruned) {
+					continue
+				}
+				r, err := evaluate(g, lib, pruned, c)
+				if err != nil {
+					return nil, err
+				}
+				if !r.Metrics.Feasible {
+					continue
+				}
+				if c.Policy == sched.ThermalAware && r.Metrics.MaxTemp > best.Metrics.MaxTemp+0.5 {
+					continue
+				}
+				types, best = pruned, r
+				changed = true
+				break
+			}
+		}
+	}
+	return best, nil
+}
+
+// evaluate builds a concrete architecture from a type multiset,
+// floorplans it, wires the thermal model, runs the ASP, and scores it.
+func evaluate(g *taskgraph.Graph, lib *techlib.Library, types []int, c CoSynthConfig) (*Result, error) {
+	arch := sched.Architecture{
+		Name:           fmt.Sprintf("cosynth-%dpe", len(types)),
+		BusTimePerUnit: c.BusTimePerUnit,
+	}
+	blocks := make([]floorplan.Block, 0, len(types))
+	for i, ti := range types {
+		name := fmt.Sprintf("pe%d", i)
+		arch.PEs = append(arch.PEs, sched.PE{Name: name, Type: ti})
+		blocks = append(blocks, floorplan.Block{
+			Name: name, Area: lib.PEType(ti).Area, MinAspect: 0.5, MaxAspect: 2,
+		})
+	}
+	if err := arch.Validate(lib); err != nil {
+		return nil, err
+	}
+
+	hs := hotspot.DefaultConfig()
+	if c.HotSpot != nil {
+		hs = *c.HotSpot
+	}
+
+	// Pilot schedule (heuristic 3) for the floorplanner's power estimates.
+	pilotCfg := sched.DefaultConfig(sched.MinTaskEnergy)
+	pilot, err := sched.AllocateAndSchedule(g, arch, lib, pilotCfg)
+	if err != nil {
+		return nil, fmt.Errorf("cosynth: pilot schedule: %w", err)
+	}
+	pilotPow, err := pilot.PEAveragePower(g.Deadline)
+	if err != nil {
+		return nil, err
+	}
+	powerByName := make(map[string]float64, len(arch.PEs))
+	for i, pe := range arch.PEs {
+		powerByName[pe.Name] = pilotPow[i]
+	}
+
+	// Floorplan the candidate architecture. The thermal-aware flow runs
+	// the GA with the peak-temperature objective (ref [3]); other
+	// policies pack for area only.
+	gaCfg := floorplan.DefaultGAConfig()
+	gaCfg.Generations = c.FloorplanGenerations
+	gaCfg.Seed = c.Seed
+	if c.Policy == sched.ThermalAware {
+		gaCfg.Eval = func(fp *floorplan.Floorplan, power map[string]float64) (float64, error) {
+			m, err := hotspot.NewModel(fp, hs)
+			if err != nil {
+				return 0, err
+			}
+			temps, err := m.SteadyState(power)
+			if err != nil {
+				return 0, err
+			}
+			return temps.Max(), nil
+		}
+		gaCfg.Power = powerByName
+		gaCfg.TempWeight = 1.0
+	} else {
+		gaCfg.TempWeight = 0
+	}
+	fpRes, err := floorplan.RunGA(blocks, gaCfg)
+	if err != nil {
+		return nil, fmt.Errorf("cosynth: floorplanning: %w", err)
+	}
+
+	model, err := hotspot.NewModel(fpRes.Plan, hs)
+	if err != nil {
+		return nil, err
+	}
+	oracle, err := sched.NewModelOracle(model, arch)
+	if err != nil {
+		return nil, err
+	}
+
+	sc := sched.DefaultConfig(c.Policy)
+	if c.Sched != nil {
+		sc = *c.Sched
+		sc.Policy = c.Policy
+	}
+	if c.Policy == sched.ThermalAware {
+		sc.Oracle = oracle
+	}
+	s, err := sched.AllocateAndSchedule(g, arch, lib, sc)
+	if err != nil {
+		return nil, fmt.Errorf("cosynth: schedule on %s: %w", arch.Name, err)
+	}
+	m, err := computeMetrics(s, oracle)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Schedule: s, Arch: arch, Plan: fpRes.Plan, Model: model, Oracle: oracle, Metrics: m,
+	}, nil
+}

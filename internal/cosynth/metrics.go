@@ -1,0 +1,67 @@
+// Package cosynth implements the two flows of the paper's Figure 1:
+//
+//   - Fig. 1a, co-synthesis: deadline-driven selection of a customized
+//     heterogeneous PE set, with the ASP as the inner routine and the
+//     thermal-aware GA floorplanner + HotSpot model in the loop;
+//   - Fig. 1b, platform-based design: a fixed platform of four identical
+//     PEs with a fixed floorplan, where the ASP issues thermal inquiries
+//     against the pre-built model.
+//
+// One simplification against the literal figure is documented in
+// DESIGN.md: instead of invoking the floorplanner inside every ASP
+// assignment step, each candidate architecture is floorplanned once
+// (thermal-aware when the policy is thermal-aware) using power estimates
+// from a pilot schedule; the ASP then runs with a thermal model of that
+// fixed floorplan. This keeps the flow's structure — floorplanning and
+// temperature extraction inside the co-synthesis loop — at a tractable
+// cost.
+package cosynth
+
+import (
+	"fmt"
+
+	"thermalsched/internal/floorplan"
+	"thermalsched/internal/hotspot"
+	"thermalsched/internal/sched"
+)
+
+// Metrics are the three columns of the paper's tables plus context.
+type Metrics struct {
+	TotalPower float64 // total energy / deadline, W (the "Total Pow." column)
+	MaxTemp    float64 // peak steady-state block temperature, °C
+	AvgTemp    float64 // average steady-state block temperature, °C
+	Makespan   float64
+	Feasible   bool    // makespan ≤ deadline
+	Cost       float64 // summed PE cost (co-synthesis objective)
+}
+
+// Result is the outcome of one flow run.
+type Result struct {
+	Schedule *sched.Schedule
+	Arch     sched.Architecture
+	Plan     *floorplan.Floorplan
+	Model    *hotspot.Model
+	Oracle   *sched.ModelOracle
+	Metrics  Metrics
+}
+
+// computeMetrics evaluates the paper's table columns for a finished
+// schedule against its thermal model.
+func computeMetrics(s *sched.Schedule, oracle *sched.ModelOracle) (Metrics, error) {
+	pow, err := s.PEAveragePower(s.Graph.Deadline)
+	if err != nil {
+		return Metrics{}, err
+	}
+	temps, err := oracle.Temps(pow)
+	if err != nil {
+		return Metrics{}, fmt.Errorf("cosynth: final temperature extraction: %w", err)
+	}
+	return Metrics{
+		TotalPower: s.TotalPower(),
+		MaxTemp:    temps.Max(),
+		AvgTemp:    temps.Avg(),
+		Makespan:   s.Makespan,
+		Feasible:   s.MeetsDeadline(),
+		Cost:       s.Arch.TotalCost(s.Lib),
+	}, nil
+}

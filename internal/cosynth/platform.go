@@ -1,0 +1,98 @@
+package cosynth
+
+import (
+	"fmt"
+	"math"
+
+	"thermalsched/internal/floorplan"
+	"thermalsched/internal/hotspot"
+	"thermalsched/internal/sched"
+	"thermalsched/internal/taskgraph"
+	"thermalsched/internal/techlib"
+)
+
+// PlatformConfig parameterizes the platform-based flow (Fig. 1b).
+type PlatformConfig struct {
+	// Policy selects the ASP variant; the thermal oracle is wired
+	// automatically for ThermalAware.
+	Policy sched.Policy
+	// Sched overrides the scheduler configuration. Leave zero to use
+	// sched.DefaultConfig(Policy).
+	Sched *sched.Config
+	// BusTimePerUnit is the shared-bus communication rate (time units per
+	// data unit). Zero means DefaultBusTimePerUnit.
+	BusTimePerUnit float64
+	// HotSpot overrides the thermal model configuration; nil means
+	// hotspot.DefaultConfig.
+	HotSpot *hotspot.Config
+}
+
+// DefaultBusTimePerUnit is the communication rate used throughout the
+// experiments: a 40-unit transfer costs two time units, small against
+// ~100-unit tasks.
+const DefaultBusTimePerUnit = 0.05
+
+// BuildPlatform constructs the paper's platform substrate: the four
+// "identical" PEs in a row floorplan with its thermal model and oracle.
+// A row (not a 2×2 grid) is used so the platform has the edge/centre
+// asymmetry every real package exhibits; see DESIGN.md.
+func BuildPlatform(lib *techlib.Library, busTimePerUnit float64, hsCfg hotspot.Config) (sched.Architecture, *floorplan.Floorplan, *hotspot.Model, *sched.ModelOracle, error) {
+	arch, err := sched.PlatformFromTypes(lib, techlib.PlatformPETypeNames(), busTimePerUnit)
+	if err != nil {
+		return sched.Architecture{}, nil, nil, nil, err
+	}
+	area := lib.PEType(arch.PEs[0].Type).Area
+	fp, err := floorplan.Row("pe", len(arch.PEs), area)
+	if err != nil {
+		return sched.Architecture{}, nil, nil, nil, err
+	}
+	model, err := hotspot.NewModel(fp, hsCfg)
+	if err != nil {
+		return sched.Architecture{}, nil, nil, nil, err
+	}
+	oracle, err := sched.NewModelOracle(model, arch)
+	if err != nil {
+		return sched.Architecture{}, nil, nil, nil, err
+	}
+	return arch, fp, model, oracle, nil
+}
+
+// RunPlatform executes the platform-based flow: schedule g on the fixed
+// 4-PE platform under the configured policy and extract the final
+// temperature profile.
+func RunPlatform(g *taskgraph.Graph, lib *techlib.Library, cfg PlatformConfig) (*Result, error) {
+	bus := cfg.BusTimePerUnit
+	if bus == 0 {
+		bus = DefaultBusTimePerUnit
+	}
+	hs := hotspot.DefaultConfig()
+	if cfg.HotSpot != nil {
+		hs = *cfg.HotSpot
+	}
+	arch, fp, model, oracle, err := BuildPlatform(lib, bus, hs)
+	if err != nil {
+		return nil, err
+	}
+	sc := sched.DefaultConfig(cfg.Policy)
+	if cfg.Sched != nil {
+		sc = *cfg.Sched
+		sc.Policy = cfg.Policy
+	}
+	if cfg.Policy == sched.ThermalAware {
+		sc.Oracle = oracle
+	}
+	s, err := sched.AllocateAndSchedule(g, arch, lib, sc)
+	if err != nil {
+		return nil, fmt.Errorf("cosynth: platform schedule: %w", err)
+	}
+	m, err := computeMetrics(s, oracle)
+	if err != nil {
+		return nil, err
+	}
+	if math.IsNaN(m.MaxTemp) {
+		return nil, fmt.Errorf("cosynth: platform produced NaN temperature")
+	}
+	return &Result{
+		Schedule: s, Arch: arch, Plan: fp, Model: model, Oracle: oracle, Metrics: m,
+	}, nil
+}

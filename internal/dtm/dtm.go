@@ -1,0 +1,211 @@
+// Package dtm implements dynamic thermal management in the style of the
+// paper's reference [2] (Skadron, Abdelzaher, Stan — "Control-Theoretic
+// Techniques and Thermal-RC Modeling for Accurate and Localized Dynamic
+// Thermal Management", HPCA 2002): a run-time controller that watches the
+// transient block temperatures of the thermal RC model and throttles
+// per-PE power to keep the die under a trigger threshold.
+//
+// Two controllers are provided:
+//
+//   - ToggleController: classic threshold DTM — when any block crosses
+//     the trigger temperature, the offending PE's power is cut to a fixed
+//     throttle fraction until it cools below trigger − hysteresis.
+//   - PIController: the control-theoretic variant of reference [2] — a
+//     per-PE proportional–integral loop drives each block's temperature
+//     error to zero, scaling power continuously in [MinScale, 1].
+//
+// The paper proper uses only steady-state temperatures; DTM is the
+// natural run-time companion (experiment A3/extension in DESIGN.md) and
+// shows how the static thermal-aware schedule reduces throttling.
+package dtm
+
+import (
+	"fmt"
+
+	"thermalsched/internal/hotspot"
+)
+
+// Controller scales each PE's requested power based on observed block
+// temperatures. Scale returns per-PE multipliers in [0, 1].
+type Controller interface {
+	// Scale inspects the current block temperatures (°C, indexed like
+	// the model's blocks) and returns per-block power multipliers.
+	Scale(temps []float64) []float64
+	// Reset clears controller state between runs.
+	Reset()
+}
+
+// ToggleController is threshold-triggered throttling with hysteresis.
+type ToggleController struct {
+	TriggerC   float64 // throttle when a block exceeds this temperature
+	Hysteresis float64 // un-throttle below TriggerC − Hysteresis
+	Throttle   float64 // power multiplier while throttled, in [0, 1)
+
+	throttled []bool
+}
+
+// NewToggleController returns a toggle controller with the given
+// trigger temperature, hysteresis band and throttle fraction.
+func NewToggleController(triggerC, hysteresis, throttle float64) (*ToggleController, error) {
+	if hysteresis < 0 {
+		return nil, fmt.Errorf("dtm: negative hysteresis %g", hysteresis)
+	}
+	if throttle < 0 || throttle >= 1 {
+		return nil, fmt.Errorf("dtm: throttle fraction %g out of [0, 1)", throttle)
+	}
+	return &ToggleController{TriggerC: triggerC, Hysteresis: hysteresis, Throttle: throttle}, nil
+}
+
+// Scale implements Controller.
+func (c *ToggleController) Scale(temps []float64) []float64 {
+	if len(c.throttled) != len(temps) {
+		c.throttled = make([]bool, len(temps))
+	}
+	out := make([]float64, len(temps))
+	for i, t := range temps {
+		switch {
+		case t >= c.TriggerC:
+			c.throttled[i] = true
+		case t <= c.TriggerC-c.Hysteresis:
+			c.throttled[i] = false
+		}
+		if c.throttled[i] {
+			out[i] = c.Throttle
+		} else {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// Reset implements Controller.
+func (c *ToggleController) Reset() { c.throttled = nil }
+
+// PIController is a per-block proportional–integral power controller.
+type PIController struct {
+	SetpointC float64 // target temperature
+	Kp        float64 // proportional gain, 1/°C
+	Ki        float64 // integral gain, 1/(°C·step)
+	MinScale  float64 // lower bound on the power multiplier
+
+	integral []float64
+}
+
+// NewPIController returns a PI controller for the given setpoint.
+func NewPIController(setpointC, kp, ki, minScale float64) (*PIController, error) {
+	if kp < 0 || ki < 0 {
+		return nil, fmt.Errorf("dtm: negative gains (kp %g, ki %g)", kp, ki)
+	}
+	if minScale < 0 || minScale > 1 {
+		return nil, fmt.Errorf("dtm: MinScale %g out of [0, 1]", minScale)
+	}
+	return &PIController{SetpointC: setpointC, Kp: kp, Ki: ki, MinScale: minScale}, nil
+}
+
+// Scale implements Controller.
+func (c *PIController) Scale(temps []float64) []float64 {
+	if len(c.integral) != len(temps) {
+		c.integral = make([]float64, len(temps))
+	}
+	out := make([]float64, len(temps))
+	for i, t := range temps {
+		err := t - c.SetpointC // positive when too hot
+		if err > 0 {
+			c.integral[i] += err
+		} else {
+			// Anti-windup: bleed the integral when below setpoint.
+			c.integral[i] *= 0.9
+		}
+		scale := 1 - c.Kp*maxf(err, 0) - c.Ki*c.integral[i]
+		if scale < c.MinScale {
+			scale = c.MinScale
+		}
+		if scale > 1 {
+			scale = 1
+		}
+		out[i] = scale
+	}
+	return out
+}
+
+// Reset implements Controller.
+func (c *PIController) Reset() { c.integral = nil }
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RunResult summarizes a DTM transient run.
+type RunResult struct {
+	PeakTemp float64 // hottest block temperature observed, °C
+	// ThrottledFraction is the fraction of (block, step) pairs that ran
+	// below full power — the DTM performance cost proxy.
+	ThrottledFraction float64
+	// EnergyDelivered is Σ scaled power × dt: the work the PEs actually
+	// got through, relative to EnergyRequested.
+	EnergyDelivered float64
+	EnergyRequested float64
+	Steps           int
+}
+
+// Slowdown returns the fraction of requested energy that throttling
+// denied, a proxy for the execution-time penalty DTM causes.
+func (r RunResult) Slowdown() float64 {
+	if r.EnergyRequested == 0 {
+		return 0
+	}
+	return 1 - r.EnergyDelivered/r.EnergyRequested
+}
+
+// Run drives a transient simulation of the power samples (per-block, in
+// model block order, one per step) under the controller. The controller
+// observes the temperatures after each step and its scales apply to the
+// next step's power — a one-step sensing delay, as in a real DTM loop.
+func Run(model *hotspot.Model, ctrl Controller, samples [][]float64, dt float64) (*RunResult, error) {
+	if ctrl == nil {
+		return nil, fmt.Errorf("dtm: nil controller")
+	}
+	tr, err := model.NewTransient(dt)
+	if err != nil {
+		return nil, err
+	}
+	ctrl.Reset()
+	n := model.NumBlocks()
+	scale := make([]float64, n)
+	for i := range scale {
+		scale[i] = 1
+	}
+	res := &RunResult{}
+	scaled := make([]float64, n)
+	for step, p := range samples {
+		if len(p) != n {
+			return nil, fmt.Errorf("dtm: sample %d has %d blocks, want %d", step, len(p), n)
+		}
+		throttledBlocks := 0
+		for i, w := range p {
+			scaled[i] = w * scale[i]
+			res.EnergyRequested += w * dt
+			res.EnergyDelivered += scaled[i] * dt
+			if scale[i] < 1 {
+				throttledBlocks++
+			}
+		}
+		res.ThrottledFraction += float64(throttledBlocks) / float64(n)
+		temps, err := tr.StepVec(scaled)
+		if err != nil {
+			return nil, err
+		}
+		if m := temps.Max(); m > res.PeakTemp {
+			res.PeakTemp = m
+		}
+		scale = ctrl.Scale(temps.Values())
+		res.Steps++
+	}
+	if res.Steps > 0 {
+		res.ThrottledFraction /= float64(res.Steps)
+	}
+	return res, nil
+}

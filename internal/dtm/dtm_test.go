@@ -1,0 +1,230 @@
+package dtm
+
+import (
+	"math"
+	"testing"
+
+	"thermalsched/internal/floorplan"
+	"thermalsched/internal/hotspot"
+)
+
+func model4(t testing.TB) *hotspot.Model {
+	t.Helper()
+	fp, err := floorplan.Row("pe", 4, 16e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := hotspot.NewModel(fp, hotspot.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// hotSamples produces a sustained high-power workload that would exceed
+// the trigger temperature without DTM.
+func hotSamples(steps int) [][]float64 {
+	out := make([][]float64, steps)
+	for i := range out {
+		out[i] = []float64{12, 4, 4, 4}
+	}
+	return out
+}
+
+func TestToggleControllerValidation(t *testing.T) {
+	if _, err := NewToggleController(80, -1, 0.5); err == nil {
+		t.Error("negative hysteresis accepted")
+	}
+	if _, err := NewToggleController(80, 2, 1.0); err == nil {
+		t.Error("throttle 1.0 accepted")
+	}
+	if _, err := NewToggleController(80, 2, -0.1); err == nil {
+		t.Error("negative throttle accepted")
+	}
+	if _, err := NewToggleController(80, 2, 0.5); err != nil {
+		t.Errorf("valid controller rejected: %v", err)
+	}
+}
+
+func TestPIControllerValidation(t *testing.T) {
+	if _, err := NewPIController(80, -1, 0, 0.2); err == nil {
+		t.Error("negative kp accepted")
+	}
+	if _, err := NewPIController(80, 0.1, 0.01, 1.5); err == nil {
+		t.Error("MinScale > 1 accepted")
+	}
+	if _, err := NewPIController(80, 0.1, 0.01, 0.2); err != nil {
+		t.Errorf("valid controller rejected: %v", err)
+	}
+}
+
+func TestToggleCapsTemperature(t *testing.T) {
+	m := model4(t)
+	// Unmanaged run for reference.
+	unmanaged, err := Run(m, noopController{}, hotSamples(4000), 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := NewToggleController(85, 3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	managed, err := Run(m, ctrl, hotSamples(4000), 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unmanaged.PeakTemp <= 85 {
+		t.Fatalf("test workload too cool to exercise DTM: %v", unmanaged.PeakTemp)
+	}
+	if managed.PeakTemp >= unmanaged.PeakTemp {
+		t.Errorf("DTM did not reduce peak: %v vs %v", managed.PeakTemp, unmanaged.PeakTemp)
+	}
+	// Overshoot past the trigger is bounded (one sensing step plus RC lag).
+	if managed.PeakTemp > 92 {
+		t.Errorf("managed peak %v overshoots the 85 °C trigger too far", managed.PeakTemp)
+	}
+	if managed.ThrottledFraction <= 0 {
+		t.Error("throttling never engaged")
+	}
+	if managed.Slowdown() <= 0 || managed.Slowdown() >= 1 {
+		t.Errorf("slowdown = %v, want (0, 1)", managed.Slowdown())
+	}
+}
+
+func TestToggleHysteresisPreventsFlapping(t *testing.T) {
+	ctrl, err := NewToggleController(80, 5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cross the trigger, then sit inside the hysteresis band: the
+	// controller must stay throttled at 78 °C (above 80−5).
+	s1 := ctrl.Scale([]float64{85})
+	if s1[0] != 0.5 {
+		t.Fatalf("should throttle at 85: %v", s1)
+	}
+	s2 := ctrl.Scale([]float64{78})
+	if s2[0] != 0.5 {
+		t.Errorf("should stay throttled inside the band: %v", s2)
+	}
+	s3 := ctrl.Scale([]float64{74})
+	if s3[0] != 1 {
+		t.Errorf("should release below the band: %v", s3)
+	}
+}
+
+func TestPIControllerTracksSetpoint(t *testing.T) {
+	m := model4(t)
+	ctrl, err := NewPIController(82, 0.08, 0.004, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(m, ctrl, hotSamples(6000), 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PI control should keep the peak near the setpoint (a few degrees
+	// of transient overshoot is inherent to the one-step sensing delay).
+	if res.PeakTemp > 88 {
+		t.Errorf("PI peak %v too far above the 82 °C setpoint", res.PeakTemp)
+	}
+	if res.Slowdown() <= 0 {
+		t.Error("PI never throttled a hot workload")
+	}
+}
+
+func TestPIControllerIdleBelowSetpoint(t *testing.T) {
+	ctrl, err := NewPIController(90, 0.05, 0.002, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ctrl.Scale([]float64{50, 60})
+	for i, v := range s {
+		if v != 1 {
+			t.Errorf("scale[%d] = %v below setpoint, want 1", i, v)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	m := model4(t)
+	if _, err := Run(m, nil, hotSamples(1), 0.002); err == nil {
+		t.Error("nil controller accepted")
+	}
+	ctrl, _ := NewToggleController(85, 3, 0.3)
+	if _, err := Run(m, ctrl, [][]float64{{1, 2}}, 0.002); err == nil {
+		t.Error("short sample accepted")
+	}
+	if _, err := Run(m, ctrl, nil, 0.002); err != nil {
+		t.Errorf("empty run should succeed: %v", err)
+	}
+	res, err := Run(m, ctrl, nil, 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slowdown() != 0 {
+		t.Error("empty run slowdown should be 0")
+	}
+}
+
+func TestControllerResetClearsState(t *testing.T) {
+	ctrl, _ := NewToggleController(80, 5, 0.5)
+	ctrl.Scale([]float64{100}) // throttle
+	ctrl.Reset()
+	s := ctrl.Scale([]float64{78})
+	if s[0] != 1 {
+		t.Errorf("after Reset, 78 °C should not be throttled: %v", s)
+	}
+	pi, _ := NewPIController(80, 0.05, 0.01, 0.1)
+	pi.Scale([]float64{120})
+	pi.Reset()
+	s = pi.Scale([]float64{70})
+	if s[0] != 1 {
+		t.Errorf("after Reset, PI below setpoint should be 1: %v", s)
+	}
+}
+
+// A statically thermal-balanced power split needs less throttling than a
+// concentrated one for the same total power — the DTM-side argument for
+// the paper's thermal-aware scheduling.
+func TestBalancedLoadThrottlesLess(t *testing.T) {
+	m := model4(t)
+	mk := func(p []float64, steps int) [][]float64 {
+		out := make([][]float64, steps)
+		for i := range out {
+			out[i] = p
+		}
+		return out
+	}
+	ctrl, err := NewToggleController(85, 3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	concentrated, err := Run(m, ctrl, mk([]float64{15, 3, 3, 3}, 5000), 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	balanced, err := Run(m, ctrl, mk([]float64{6, 6, 6, 6}, 5000), 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if balanced.Slowdown() >= concentrated.Slowdown() {
+		t.Errorf("balanced slowdown %v should be below concentrated %v",
+			balanced.Slowdown(), concentrated.Slowdown())
+	}
+	if math.IsNaN(balanced.PeakTemp) {
+		t.Error("NaN peak")
+	}
+}
+
+// noopController never throttles (reference runs).
+type noopController struct{}
+
+func (noopController) Scale(temps []float64) []float64 {
+	out := make([]float64, len(temps))
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+func (noopController) Reset() {}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"thermalsched/internal/cosynth"
+	"thermalsched/internal/sched"
+	"thermalsched/internal/taskgraph"
+	"thermalsched/internal/techlib"
+)
+
+// SweepResult aggregates a randomized robustness study: the paper
+// evaluates four hand-picked benchmarks; the sweep re-runs the
+// power-aware vs thermal-aware platform comparison over many random
+// task graphs and reports win rates and mean reductions, so the headline
+// claim is backed by a distribution rather than four samples.
+type SweepResult struct {
+	Graphs        int
+	FeasibleBoth  int // graphs where both policies met the deadline
+	MaxWins       int // thermal max-temp wins among FeasibleBoth
+	AvgWins       int // thermal avg-temp wins among FeasibleBoth
+	PowerWins     int // thermal total-power wins among FeasibleBoth
+	MeanMaxRed    float64
+	MeanAvgRed    float64
+	MeanPowerRedW float64
+}
+
+// RunSweep generates count random task graphs (sizes spanning the
+// paper's benchmark range) and compares heuristic 3 against the
+// thermal-aware ASP on the platform flow.
+func RunSweep(lib *techlib.Library, count int, seed int64) (*SweepResult, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("experiments: sweep count %d", count)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	res := &SweepResult{Graphs: count}
+	for i := 0; i < count; i++ {
+		tasks := 15 + rng.Intn(40)
+		minE := tasks - 1
+		maxE := minE + tasks/2
+		edges := minE + rng.Intn(maxE-minE+1)
+		// Deadline scaled to task count with moderate slack, matching the
+		// density of the paper's benchmarks (~40 units of deadline per
+		// task on a 4-PE platform).
+		deadline := float64(tasks) * (38 + 8*rng.Float64())
+		g, err := taskgraph.Generate(taskgraph.GenParams{
+			Name: fmt.Sprintf("sweep%d", i), Tasks: tasks, Edges: edges,
+			Deadline: deadline, Types: taskgraph.NumTaskTypes,
+			Sources: 1 + rng.Intn(2), MaxData: 40, Seed: rng.Int63(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sweep graph %d: %w", i, err)
+		}
+		pRes, err := cosynth.RunPlatform(g, lib, cosynth.PlatformConfig{Policy: sched.MinTaskEnergy})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sweep %d power run: %w", i, err)
+		}
+		tRes, err := cosynth.RunPlatform(g, lib, cosynth.PlatformConfig{Policy: sched.ThermalAware})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sweep %d thermal run: %w", i, err)
+		}
+		if !pRes.Metrics.Feasible || !tRes.Metrics.Feasible {
+			continue
+		}
+		res.FeasibleBoth++
+		dMax := pRes.Metrics.MaxTemp - tRes.Metrics.MaxTemp
+		dAvg := pRes.Metrics.AvgTemp - tRes.Metrics.AvgTemp
+		dPow := pRes.Metrics.TotalPower - tRes.Metrics.TotalPower
+		res.MeanMaxRed += dMax
+		res.MeanAvgRed += dAvg
+		res.MeanPowerRedW += dPow
+		if dMax >= 0 {
+			res.MaxWins++
+		}
+		if dAvg >= 0 {
+			res.AvgWins++
+		}
+		if dPow >= 0 {
+			res.PowerWins++
+		}
+	}
+	if res.FeasibleBoth > 0 {
+		n := float64(res.FeasibleBoth)
+		res.MeanMaxRed /= n
+		res.MeanAvgRed /= n
+		res.MeanPowerRedW /= n
+	}
+	return res, nil
+}
+
+// String renders the sweep summary.
+func (r *SweepResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Randomized sweep: %d graphs, %d feasible under both policies\n",
+		r.Graphs, r.FeasibleBoth)
+	if r.FeasibleBoth == 0 {
+		return b.String()
+	}
+	n := float64(r.FeasibleBoth)
+	fmt.Fprintf(&b, "  thermal wins max temp on %d/%d (%.0f%%), mean reduction %.2f °C\n",
+		r.MaxWins, r.FeasibleBoth, 100*float64(r.MaxWins)/n, r.MeanMaxRed)
+	fmt.Fprintf(&b, "  thermal wins avg temp on %d/%d (%.0f%%), mean reduction %.2f °C\n",
+		r.AvgWins, r.FeasibleBoth, 100*float64(r.AvgWins)/n, r.MeanAvgRed)
+	fmt.Fprintf(&b, "  thermal wins total power on %d/%d (%.0f%%), mean reduction %.2f W\n",
+		r.PowerWins, r.FeasibleBoth, 100*float64(r.PowerWins)/n, r.MeanPowerRedW)
+	return b.String()
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"thermalsched/internal/techlib"
+)
+
+func TestRunSweepStatisticalWin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep skipped in -short mode")
+	}
+	lib, err := techlib.StandardLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSweep(lib, 30, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FeasibleBoth < 15 {
+		t.Fatalf("only %d/30 sweep graphs feasible — deadline scaling off", res.FeasibleBoth)
+	}
+	// The robust part of the paper's headline in distribution: the
+	// thermal-aware ASP wins *peak* temperature on a clear majority of
+	// random graphs with a positive mean reduction. The average-
+	// temperature advantage is instance-dependent (average temperature
+	// in a compact RC model is almost a pure function of total power,
+	// which heuristic 3 already near-minimizes), so only a sanity floor
+	// is asserted for it; see EXPERIMENTS.md for the discussion.
+	winRate := func(wins int) float64 { return float64(wins) / float64(res.FeasibleBoth) }
+	if winRate(res.MaxWins) < 0.55 {
+		t.Errorf("thermal max-temp win rate %.0f%% below 55%%\n%s", 100*winRate(res.MaxWins), res)
+	}
+	if res.MeanMaxRed <= 0 {
+		t.Errorf("mean peak reduction non-positive\n%s", res)
+	}
+	if winRate(res.AvgWins) < 0.3 {
+		t.Errorf("thermal avg-temp win rate %.0f%% collapsed below 30%%\n%s", 100*winRate(res.AvgWins), res)
+	}
+	out := res.String()
+	if !strings.Contains(out, "thermal wins max temp") {
+		t.Errorf("summary malformed: %s", out)
+	}
+}
+
+func TestRunSweepValidation(t *testing.T) {
+	lib, err := techlib.StandardLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSweep(lib, 0, 1); err == nil {
+		t.Error("zero count accepted")
+	}
+}
+
+func TestSweepResultStringEmpty(t *testing.T) {
+	r := &SweepResult{Graphs: 5}
+	if !strings.Contains(r.String(), "0 feasible") {
+		t.Errorf("empty sweep summary: %s", r.String())
+	}
+}

@@ -1,0 +1,118 @@
+package floorplan
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// SAConfig parameterizes the simulated-annealing floorplanner, the
+// ablation baseline against the GA (experiment A1 in DESIGN.md).
+type SAConfig struct {
+	InitialTemp float64 // annealing temperature (dimensionless cost units)
+	CoolingRate float64 // geometric cooling factor per sweep, e.g. 0.95
+	MovesPerT   int     // proposed moves per temperature level
+	MinTemp     float64 // stop when temperature falls below this
+
+	AreaWeight float64
+	TempWeight float64
+	Eval       Evaluator
+	Power      map[string]float64
+
+	Seed int64
+}
+
+// DefaultSAConfig returns annealing parameters comparable in evaluation
+// budget to DefaultGAConfig.
+func DefaultSAConfig() SAConfig {
+	return SAConfig{
+		InitialTemp: 1.0,
+		CoolingRate: 0.92,
+		MovesPerT:   40,
+		MinTemp:     1e-3,
+		AreaWeight:  1.0,
+		TempWeight:  1.0,
+		Seed:        1,
+	}
+}
+
+// RunSA searches for a slicing floorplan with simulated annealing over
+// the same move set the GA mutates with.
+func RunSA(blocks []Block, cfg SAConfig) (*Result, error) {
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("floorplan: no blocks to place")
+	}
+	for _, b := range blocks {
+		if err := b.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.CoolingRate <= 0 || cfg.CoolingRate >= 1 {
+		return nil, fmt.Errorf("floorplan: cooling rate %g out of (0,1)", cfg.CoolingRate)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	thermal := cfg.Eval != nil && cfg.TempWeight > 0
+	var blockArea float64
+	for _, b := range blocks {
+		blockArea += b.Area
+	}
+	tempScale := 1.0
+	evals := 0
+
+	score := func(e Expression) (float64, *Floorplan, float64, float64, error) {
+		plan, area, err := Pack(e, blocks)
+		if err != nil {
+			return 0, nil, 0, 0, err
+		}
+		evals++
+		cost := cfg.AreaWeight * area / blockArea
+		peak := math.NaN()
+		if thermal {
+			peak, err = cfg.Eval(plan, cfg.Power)
+			if err != nil {
+				return 0, nil, 0, 0, fmt.Errorf("floorplan: thermal evaluation: %w", err)
+			}
+			cost += cfg.TempWeight * peak / tempScale
+		}
+		return cost, plan, area, peak, nil
+	}
+
+	cur := InitialExpression(len(blocks))
+	if thermal {
+		plan, _, err := Pack(cur, blocks)
+		if err != nil {
+			return nil, err
+		}
+		p, err := cfg.Eval(plan, cfg.Power)
+		if err != nil {
+			return nil, fmt.Errorf("floorplan: thermal evaluation: %w", err)
+		}
+		if p > 0 {
+			tempScale = p
+		}
+	}
+	curCost, curPlan, curArea, curPeak, err := score(cur)
+	if err != nil {
+		return nil, err
+	}
+	best := &Result{Plan: curPlan, Area: curArea, PeakTemp: curPeak, Cost: curCost}
+
+	for temp := cfg.InitialTemp; temp > cfg.MinTemp; temp *= cfg.CoolingRate {
+		for m := 0; m < cfg.MovesPerT; m++ {
+			cand := mutateExpr(cloneExpr(cur), len(blocks), rng, 1)
+			candCost, candPlan, candArea, candPeak, err := score(cand)
+			if err != nil {
+				return nil, err
+			}
+			d := candCost - curCost
+			if d <= 0 || rng.Float64() < math.Exp(-d/temp) {
+				cur, curCost = cand, candCost
+				if candCost < best.Cost {
+					best = &Result{Plan: candPlan, Area: candArea, PeakTemp: candPeak, Cost: candCost}
+				}
+			}
+		}
+	}
+	best.Evals = evals
+	return best, nil
+}

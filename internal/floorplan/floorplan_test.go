@@ -1,0 +1,201 @@
+package floorplan
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"thermalsched/internal/geom"
+)
+
+func TestBlockValidate(t *testing.T) {
+	good := Block{Name: "pe0", Area: 1e-6, MinAspect: 0.5, MaxAspect: 2}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid block rejected: %v", err)
+	}
+	bad := []Block{
+		{Name: "", Area: 1, MinAspect: 1, MaxAspect: 1},
+		{Name: "x", Area: 0, MinAspect: 1, MaxAspect: 1},
+		{Name: "x", Area: -1, MinAspect: 1, MaxAspect: 1},
+		{Name: "x", Area: math.Inf(1), MinAspect: 1, MaxAspect: 1},
+		{Name: "x", Area: 1, MinAspect: 0, MaxAspect: 1},
+		{Name: "x", Area: 1, MinAspect: 2, MaxAspect: 1},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad block %d accepted: %+v", i, b)
+		}
+	}
+}
+
+func TestAddBlockAndAccessors(t *testing.T) {
+	fp := New()
+	if err := fp.AddBlock("a", geom.NewRect(0, 0, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fp.AddBlock("b", geom.NewRect(1, 0, 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if fp.NumBlocks() != 2 {
+		t.Errorf("NumBlocks = %d", fp.NumBlocks())
+	}
+	if got := fp.Names(); got[0] != "a" || got[1] != "b" {
+		t.Errorf("Names = %v", got)
+	}
+	r, ok := fp.Rect("b")
+	if !ok || r.W != 2 {
+		t.Errorf("Rect(b) = %v, %v", r, ok)
+	}
+	if _, ok := fp.Rect("zz"); ok {
+		t.Error("Rect of missing block should report !ok")
+	}
+	// Error cases.
+	if err := fp.AddBlock("a", geom.NewRect(5, 5, 1, 1)); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if err := fp.AddBlock("", geom.NewRect(5, 5, 1, 1)); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := fp.AddBlock("c", geom.NewRect(0, 0, -1, 1)); err == nil {
+		t.Error("invalid rect accepted")
+	}
+}
+
+func TestZeroValueFloorplanUsable(t *testing.T) {
+	var fp Floorplan
+	if err := fp.AddBlock("a", geom.NewRect(0, 0, 1, 1)); err != nil {
+		t.Fatalf("zero-value floorplan should accept blocks: %v", err)
+	}
+}
+
+func TestAreaDeadspaceBoundingBox(t *testing.T) {
+	fp := New()
+	mustAdd(t, fp, "a", geom.NewRect(0, 0, 1, 1))
+	mustAdd(t, fp, "b", geom.NewRect(1, 0, 1, 2))
+	bb := fp.BoundingBox()
+	if bb.W != 2 || bb.H != 2 {
+		t.Errorf("BoundingBox = %v", bb)
+	}
+	if fp.Area() != 4 {
+		t.Errorf("Area = %v", fp.Area())
+	}
+	if fp.BlockArea() != 3 {
+		t.Errorf("BlockArea = %v", fp.BlockArea())
+	}
+	if got := fp.Deadspace(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("Deadspace = %v, want 0.25", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	fp := New()
+	if err := fp.Validate(); err == nil {
+		t.Error("empty floorplan should fail Validate")
+	}
+	mustAdd(t, fp, "a", geom.NewRect(0, 0, 1, 1))
+	mustAdd(t, fp, "b", geom.NewRect(2, 0, 1, 1))
+	if err := fp.Validate(); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+	mustAdd(t, fp, "c", geom.NewRect(0.5, 0.5, 1, 1)) // overlaps a
+	err := fp.Validate()
+	if err == nil {
+		t.Fatal("overlapping plan accepted")
+	}
+	if !strings.Contains(err.Error(), "overlap") {
+		t.Errorf("error should mention overlap: %v", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	fp := New()
+	mustAdd(t, fp, "a", geom.NewRect(0, 0, 1, 1))
+	c := fp.Clone()
+	mustAdd(t, c, "b", geom.NewRect(2, 0, 1, 1))
+	if fp.NumBlocks() != 1 || c.NumBlocks() != 2 {
+		t.Error("Clone must be independent of the original")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fp := New()
+	mustAdd(t, fp, "cpu0", geom.NewRect(0, 0, 0.004, 0.004))
+	mustAdd(t, fp, "cpu1", geom.NewRect(0.004, 0, 0.004, 0.004))
+	mustAdd(t, fp, "mem", geom.NewRect(0, 0.004, 0.008, 0.002))
+	var buf bytes.Buffer
+	if err := fp.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumBlocks() != 3 {
+		t.Fatalf("round trip lost blocks: %d", got.NumBlocks())
+	}
+	for _, name := range fp.Names() {
+		want, _ := fp.Rect(name)
+		have, ok := got.Rect(name)
+		if !ok {
+			t.Fatalf("block %q missing after round trip", name)
+		}
+		if math.Abs(want.X-have.X) > 1e-12 || math.Abs(want.W-have.W) > 1e-12 {
+			t.Errorf("block %q rect changed: %v vs %v", name, want, have)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"comment only", "# nothing\n"},
+		{"bad field count", "a 1 2 3\n"},
+		{"bad number", "a 1 2 3 x\n"},
+		{"zero width", "a 0 1 0 0\n"},
+		{"duplicate", "a 1 1 0 0\na 1 1 2 0\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tc.in)); err == nil {
+				t.Errorf("Read(%q) succeeded, want error", tc.in)
+			}
+		})
+	}
+}
+
+func TestAdjacency(t *testing.T) {
+	fp := New()
+	mustAdd(t, fp, "a", geom.NewRect(0, 0, 1, 1))
+	mustAdd(t, fp, "b", geom.NewRect(1, 0, 1, 1)) // abuts a
+	mustAdd(t, fp, "c", geom.NewRect(5, 5, 1, 1)) // isolated
+	adj := fp.Adjacency(geom.Eps)
+	if l := adj[0][1]; math.Abs(l-1) > 1e-12 {
+		t.Errorf("shared edge a-b = %v, want 1", l)
+	}
+	if _, ok := adj[0][2]; ok {
+		t.Error("a and c should not be adjacent")
+	}
+}
+
+func TestStringAndSortedNames(t *testing.T) {
+	fp := New()
+	mustAdd(t, fp, "z", geom.NewRect(0, 0, 0.001, 0.001))
+	mustAdd(t, fp, "a", geom.NewRect(0.001, 0, 0.001, 0.001))
+	if s := fp.String(); !strings.Contains(s, "2 blocks") {
+		t.Errorf("String = %q", s)
+	}
+	names := fp.SortedNames()
+	if names[0] != "a" || names[1] != "z" {
+		t.Errorf("SortedNames = %v", names)
+	}
+}
+
+func mustAdd(t *testing.T, fp *Floorplan, name string, r geom.Rect) {
+	t.Helper()
+	if err := fp.AddBlock(name, r); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,55 @@
+package floorplan
+
+import (
+	"fmt"
+	"math"
+
+	"thermalsched/internal/geom"
+)
+
+// Grid builds the fixed platform floorplan the paper's platform-based
+// experiments use: count identical square PEs of the given area (m²)
+// arranged in a near-square grid with no spacing (abutting blocks,
+// so lateral heat flow couples neighbours). Block names are name0,
+// name1, ... in row-major order.
+func Grid(prefix string, count int, blockArea float64) (*Floorplan, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("floorplan: grid needs at least one block, got %d", count)
+	}
+	if !(blockArea > 0) {
+		return nil, fmt.Errorf("floorplan: grid block area must be positive, got %g", blockArea)
+	}
+	side := math.Sqrt(blockArea)
+	cols := int(math.Ceil(math.Sqrt(float64(count))))
+	fp := New()
+	for i := 0; i < count; i++ {
+		r, c := i/cols, i%cols
+		name := fmt.Sprintf("%s%d", prefix, i)
+		rect := geom.NewRect(float64(c)*side, float64(r)*side, side, side)
+		if err := fp.AddBlock(name, rect); err != nil {
+			return nil, err
+		}
+	}
+	return fp, nil
+}
+
+// Row builds a single-row floorplan of identical square blocks, a
+// degenerate layout used in tests and as a worst-case thermal
+// configuration (maximum mutual heating along a line).
+func Row(prefix string, count int, blockArea float64) (*Floorplan, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("floorplan: row needs at least one block, got %d", count)
+	}
+	if !(blockArea > 0) {
+		return nil, fmt.Errorf("floorplan: row block area must be positive, got %g", blockArea)
+	}
+	side := math.Sqrt(blockArea)
+	fp := New()
+	for i := 0; i < count; i++ {
+		name := fmt.Sprintf("%s%d", prefix, i)
+		if err := fp.AddBlock(name, geom.NewRect(float64(i)*side, 0, side, side)); err != nil {
+			return nil, err
+		}
+	}
+	return fp, nil
+}

@@ -1,0 +1,252 @@
+package floorplan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"thermalsched/internal/geom"
+)
+
+// A slicing floorplan is encoded as a normalized Polish expression: a
+// postfix sequence of operands (block indices) and the cut operators
+// OpH / OpV. "ab|" places a and b side by side (vertical cut); "ab-"
+// stacks b on top of a (horizontal cut). Sizing uses Stockmeyer shape
+// curves: every subtree carries the set of non-dominated (w, h)
+// realizations, merged bottom-up.
+
+// Gene is one element of a Polish expression: a non-negative block index
+// or one of the operator constants.
+type Gene int
+
+// Operator genes. Values ≥ 0 are block indices.
+const (
+	OpH Gene = -1 // horizontal cut: top/bottom stack, heights add
+	OpV Gene = -2 // vertical cut: left/right, widths add
+)
+
+// IsOperator reports whether g is a cut operator.
+func (g Gene) IsOperator() bool { return g == OpH || g == OpV }
+
+// Expression is a Polish (postfix) expression over n blocks:
+// n operand genes and n-1 operator genes obeying the ballot property
+// (every prefix has more operands than operators).
+type Expression []Gene
+
+// ValidExpression checks that e is a structurally valid Polish expression
+// over exactly n blocks, each appearing once.
+func ValidExpression(e Expression, n int) error {
+	if len(e) != 2*n-1 {
+		return fmt.Errorf("floorplan: expression length %d, want %d for %d blocks", len(e), 2*n-1, n)
+	}
+	seen := make([]bool, n)
+	operands, operators := 0, 0
+	for i, g := range e {
+		if g.IsOperator() {
+			operators++
+			if operators >= operands {
+				return fmt.Errorf("floorplan: ballot property violated at position %d", i)
+			}
+		} else {
+			if int(g) < 0 || int(g) >= n {
+				return fmt.Errorf("floorplan: operand %d out of range [0,%d)", int(g), n)
+			}
+			if seen[g] {
+				return fmt.Errorf("floorplan: operand %d repeated", int(g))
+			}
+			seen[g] = true
+			operands++
+		}
+	}
+	if operands != n {
+		return fmt.Errorf("floorplan: %d operands, want %d", operands, n)
+	}
+	return nil
+}
+
+// InitialExpression returns the canonical chain expression
+// b0 b1 op b2 op ... alternating cut directions, a reasonable seed for
+// search.
+func InitialExpression(n int) Expression {
+	if n == 1 {
+		return Expression{0}
+	}
+	e := make(Expression, 0, 2*n-1)
+	e = append(e, 0, 1)
+	e = append(e, OpV)
+	for i := 2; i < n; i++ {
+		e = append(e, Gene(i))
+		if i%2 == 0 {
+			e = append(e, OpH)
+		} else {
+			e = append(e, OpV)
+		}
+	}
+	return e
+}
+
+// shape is one feasible (w, h) realization of a subtree. For leaves,
+// choice records which discrete block shape was used; for internal nodes,
+// li/ri record the child shape indices that produced this realization.
+type shape struct {
+	w, h   float64
+	li, ri int // indices into the children's shape lists (internal nodes)
+	choice int // leaf only: index into the block's candidate list
+}
+
+// shapesPerBlock controls how many discrete aspect ratios are sampled per
+// block between MinAspect and MaxAspect.
+const shapesPerBlock = 6
+
+// maxCurve caps a subtree's shape-curve length; longer lists are pruned
+// to the non-dominated subset and subsampled.
+const maxCurve = 24
+
+// blockShapes enumerates candidate (w, h) realizations for a block.
+func blockShapes(b Block) []shape {
+	k := shapesPerBlock
+	if b.MaxAspect-b.MinAspect < 1e-12 {
+		k = 1
+	}
+	out := make([]shape, 0, k)
+	for i := 0; i < k; i++ {
+		ar := b.MinAspect
+		if k > 1 {
+			ar = b.MinAspect + (b.MaxAspect-b.MinAspect)*float64(i)/float64(k-1)
+		}
+		h := math.Sqrt(b.Area * ar)
+		w := b.Area / h
+		out = append(out, shape{w: w, h: h, choice: i})
+	}
+	return out
+}
+
+// prune keeps only non-dominated shapes (no other shape with both
+// smaller-or-equal w and h) and caps the list length.
+func prune(ss []shape) []shape {
+	if len(ss) <= 1 {
+		return ss
+	}
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].w != ss[j].w {
+			return ss[i].w < ss[j].w
+		}
+		return ss[i].h < ss[j].h
+	})
+	out := ss[:0]
+	bestH := math.Inf(1)
+	for _, s := range ss {
+		if s.h < bestH-1e-15 {
+			out = append(out, s)
+			bestH = s.h
+		}
+	}
+	if len(out) > maxCurve {
+		// Subsample evenly, always keeping the extremes.
+		sub := make([]shape, 0, maxCurve)
+		for i := 0; i < maxCurve; i++ {
+			sub = append(sub, out[i*(len(out)-1)/(maxCurve-1)])
+		}
+		out = sub
+	}
+	res := make([]shape, len(out))
+	copy(res, out)
+	return res
+}
+
+// node is a realized slicing-tree node.
+type node struct {
+	op          Gene // OpH, OpV, or operand (leaf)
+	left, right *node
+	shapes      []shape
+}
+
+// buildTree parses the postfix expression into a tree and computes shape
+// curves bottom-up. blocks[i] corresponds to operand gene i.
+func buildTree(e Expression, blocks []Block) (*node, error) {
+	if err := ValidExpression(e, len(blocks)); err != nil {
+		return nil, err
+	}
+	stack := make([]*node, 0, len(blocks))
+	for _, g := range e {
+		if !g.IsOperator() {
+			stack = append(stack, &node{op: g, shapes: blockShapes(blocks[g])})
+			continue
+		}
+		r := stack[len(stack)-1]
+		l := stack[len(stack)-2]
+		stack = stack[:len(stack)-2]
+		n := &node{op: g, left: l, right: r}
+		n.shapes = combine(g, l.shapes, r.shapes)
+		stack = append(stack, n)
+	}
+	return stack[0], nil
+}
+
+// combine merges two children's shape curves under an operator.
+// Vertical cut: widths add, heights max. Horizontal cut: heights add,
+// widths max.
+func combine(op Gene, ls, rs []shape) []shape {
+	out := make([]shape, 0, len(ls)*len(rs))
+	for li, l := range ls {
+		for ri, r := range rs {
+			var s shape
+			if op == OpV {
+				s = shape{w: l.w + r.w, h: math.Max(l.h, r.h)}
+			} else {
+				s = shape{w: math.Max(l.w, r.w), h: l.h + r.h}
+			}
+			s.li, s.ri = li, ri
+			out = append(out, s)
+		}
+	}
+	return prune(out)
+}
+
+// realize assigns concrete rectangles: the subtree rooted at n takes the
+// region with lower-left (x, y) using its shape si, writing block
+// positions into the floorplan under construction.
+func realize(n *node, si int, x, y float64, blocks []Block, fp *Floorplan) error {
+	s := n.shapes[si]
+	if !n.op.IsOperator() {
+		b := blocks[n.op]
+		return fp.AddBlock(b.Name, geom.NewRect(x, y, s.w, s.h))
+	}
+	l := n.left.shapes[s.li]
+	if n.op == OpV {
+		if err := realize(n.left, s.li, x, y, blocks, fp); err != nil {
+			return err
+		}
+		return realize(n.right, s.ri, x+l.w, y, blocks, fp)
+	}
+	if err := realize(n.left, s.li, x, y, blocks, fp); err != nil {
+		return err
+	}
+	return realize(n.right, s.ri, x, y+l.h, blocks, fp)
+}
+
+// Pack converts a Polish expression into a concrete floorplan, choosing
+// the root shape that minimizes bounding-box area. It returns the plan
+// and its bounding-box area.
+func Pack(e Expression, blocks []Block) (*Floorplan, float64, error) {
+	for _, b := range blocks {
+		if err := b.Validate(); err != nil {
+			return nil, 0, err
+		}
+	}
+	root, err := buildTree(e, blocks)
+	if err != nil {
+		return nil, 0, err
+	}
+	best, bestArea := 0, math.Inf(1)
+	for i, s := range root.shapes {
+		if a := s.w * s.h; a < bestArea {
+			best, bestArea = i, a
+		}
+	}
+	fp := New()
+	if err := realize(root, best, 0, 0, blocks, fp); err != nil {
+		return nil, 0, err
+	}
+	return fp, bestArea, nil
+}

@@ -1,0 +1,269 @@
+package floorplan
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func squareBlocks(n int, area float64) []Block {
+	bs := make([]Block, n)
+	for i := range bs {
+		bs[i] = Block{Name: string(rune('a' + i)), Area: area, MinAspect: 1, MaxAspect: 1}
+	}
+	return bs
+}
+
+func flexBlocks(n int, area float64) []Block {
+	bs := make([]Block, n)
+	for i := range bs {
+		bs[i] = Block{Name: string(rune('a' + i)), Area: area, MinAspect: 0.5, MaxAspect: 2}
+	}
+	return bs
+}
+
+func TestValidExpression(t *testing.T) {
+	cases := []struct {
+		name string
+		e    Expression
+		n    int
+		ok   bool
+	}{
+		{"single", Expression{0}, 1, true},
+		{"pair", Expression{0, 1, OpV}, 2, true},
+		{"chain", Expression{0, 1, OpV, 2, OpH}, 3, true},
+		{"balanced", Expression{0, 1, OpV, 2, 3, OpH, OpV}, 4, true},
+		{"wrong length", Expression{0, 1}, 2, false},
+		{"ballot violation", Expression{0, OpV, 1}, 2, false},
+		{"repeat operand", Expression{0, 0, OpV}, 2, false},
+		{"out of range", Expression{0, 5, OpV}, 2, false},
+		{"leading operator", Expression{OpH, 0, 1}, 2, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidExpression(tc.e, tc.n)
+			if (err == nil) != tc.ok {
+				t.Errorf("ValidExpression(%v, %d) err = %v, want ok=%v", tc.e, tc.n, err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestInitialExpressionValid(t *testing.T) {
+	for n := 1; n <= 20; n++ {
+		if err := ValidExpression(InitialExpression(n), n); err != nil {
+			t.Errorf("InitialExpression(%d) invalid: %v", n, err)
+		}
+	}
+}
+
+func TestPackTwoBlocksVertical(t *testing.T) {
+	blocks := squareBlocks(2, 1.0)
+	fp, area, err := Pack(Expression{0, 1, OpV}, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(area-2) > 1e-9 {
+		t.Errorf("area = %v, want 2", area)
+	}
+	ra, _ := fp.Rect("a")
+	rb, _ := fp.Rect("b")
+	if math.Abs(rb.X-ra.MaxX()) > 1e-9 {
+		t.Errorf("vertical cut should place b to the right of a: %v %v", ra, rb)
+	}
+	if err := fp.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackTwoBlocksHorizontal(t *testing.T) {
+	blocks := squareBlocks(2, 1.0)
+	fp, _, err := Pack(Expression{0, 1, OpH}, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, _ := fp.Rect("a")
+	rb, _ := fp.Rect("b")
+	if math.Abs(rb.Y-ra.MaxY()) > 1e-9 {
+		t.Errorf("horizontal cut should stack b on a: %v %v", ra, rb)
+	}
+}
+
+func TestPackFourSquareGridLikeArea(t *testing.T) {
+	// (a|b) stacked on (c|d) should give a 2x2 arrangement of unit squares.
+	blocks := squareBlocks(4, 1.0)
+	e := Expression{0, 1, OpV, 2, 3, OpV, OpH}
+	fp, area, err := Pack(e, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(area-4) > 1e-9 {
+		t.Errorf("area = %v, want 4 (perfect packing)", area)
+	}
+	if err := fp.Validate(); err != nil {
+		t.Error(err)
+	}
+	if ds := fp.Deadspace(); ds > 1e-9 {
+		t.Errorf("deadspace = %v, want 0", ds)
+	}
+}
+
+func TestPackFlexibleBlocksBeatsRigidChain(t *testing.T) {
+	// With flexible aspect ratios, a chain of 3 blocks can fill better
+	// than with rigid unit squares.
+	rigid, _, err := Pack(InitialExpression(3), squareBlocks(3, 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flex, _, err := Pack(InitialExpression(3), flexBlocks(3, 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flex.Area() > rigid.Area()+1e-9 {
+		t.Errorf("flexible packing (%v) should not be worse than rigid (%v)",
+			flex.Area(), rigid.Area())
+	}
+}
+
+func TestPackPreservesBlockAreas(t *testing.T) {
+	blocks := flexBlocks(5, 2.5e-6)
+	fp, _, err := Pack(InitialExpression(5), blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range blocks {
+		r, ok := fp.Rect(b.Name)
+		if !ok {
+			t.Fatalf("block %q missing", b.Name)
+		}
+		if math.Abs(r.Area()-b.Area) > 1e-12 {
+			t.Errorf("block %q area %v, want %v", b.Name, r.Area(), b.Area)
+		}
+		ar := r.AspectRatio()
+		if ar < b.MinAspect-1e-9 || ar > b.MaxAspect+1e-9 {
+			t.Errorf("block %q aspect %v outside [%v, %v]", b.Name, ar, b.MinAspect, b.MaxAspect)
+		}
+	}
+}
+
+func TestPackRejectsBadInput(t *testing.T) {
+	if _, _, err := Pack(Expression{0}, []Block{{Name: "x", Area: -1, MinAspect: 1, MaxAspect: 1}}); err == nil {
+		t.Error("negative area accepted")
+	}
+	if _, _, err := Pack(Expression{0, OpV}, squareBlocks(2, 1)); err == nil {
+		t.Error("invalid expression accepted")
+	}
+}
+
+func TestPackSingleBlock(t *testing.T) {
+	fp, area, err := Pack(Expression{0}, squareBlocks(1, 4.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(area-4) > 1e-9 {
+		t.Errorf("area = %v", area)
+	}
+	if fp.NumBlocks() != 1 {
+		t.Error("single block plan wrong")
+	}
+}
+
+// Property: any valid random expression packs into a valid (overlap-free)
+// floorplan containing every block with its exact area, and the bounding
+// box area is at least the sum of block areas.
+func TestPackRandomExpressionsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		blocks := flexBlocks(n, 1e-6*(0.5+rng.Float64()))
+		e := randomExpression(n, rng)
+		if err := ValidExpression(e, n); err != nil {
+			return false
+		}
+		fp, area, err := Pack(e, blocks)
+		if err != nil {
+			return false
+		}
+		if fp.Validate() != nil || fp.NumBlocks() != n {
+			return false
+		}
+		var blockArea float64
+		for _, b := range blocks {
+			blockArea += b.Area
+		}
+		return area >= blockArea-1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomExpression builds a valid random Polish expression by stack
+// simulation: at each step, emit an operand if any remain, or an operator
+// if the stack allows; choose randomly when both are possible.
+func randomExpression(n int, rng *rand.Rand) Expression {
+	perm := rng.Perm(n)
+	e := make(Expression, 0, 2*n-1)
+	next, stack := 0, 0
+	for len(e) < 2*n-1 {
+		canOperand := next < n
+		canOperator := stack >= 2
+		var emitOperand bool
+		switch {
+		case canOperand && canOperator:
+			emitOperand = rng.Intn(2) == 0
+		case canOperand:
+			emitOperand = true
+		default:
+			emitOperand = false
+		}
+		if emitOperand {
+			e = append(e, Gene(perm[next]))
+			next++
+			stack++
+		} else {
+			if rng.Intn(2) == 0 {
+				e = append(e, OpH)
+			} else {
+				e = append(e, OpV)
+			}
+			stack--
+		}
+	}
+	return e
+}
+
+// Property: mutation preserves expression validity.
+func TestMutatePreservesValidity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		e := randomExpression(n, rng)
+		for k := 0; k < 10; k++ {
+			e = mutateExpr(e, n, rng, 1)
+			if ValidExpression(e, n) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: crossover of two valid parents yields a valid child.
+func TestCrossoverPreservesValidity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		a := randomExpression(n, rng)
+		b := randomExpression(n, rng)
+		c := crossover(a, b, n, rng)
+		return ValidExpression(c, n) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

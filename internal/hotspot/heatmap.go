@@ -1,0 +1,75 @@
+package hotspot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"thermalsched/internal/floorplan"
+	"thermalsched/internal/geom"
+)
+
+// WriteHeatMap renders the floorplan's temperature field as an ASCII
+// grid: cols × rows character cells over the bounding box, each cell
+// showing the temperature bucket of the block underneath (' ' for empty
+// die area, then '.', ':', '-', '=', '+', '*', '#', '@' from coolest to
+// hottest across the observed range). A legend with the block names and
+// temperatures follows. Useful for eyeballing schedules and floorplans
+// in terminals; cmd/hotspotsim exposes it via -map.
+func WriteHeatMap(w io.Writer, fp *floorplan.Floorplan, temps Temps, cols int) error {
+	if cols < 8 {
+		return fmt.Errorf("hotspot: heat map needs at least 8 columns, got %d", cols)
+	}
+	if err := fp.Validate(); err != nil {
+		return err
+	}
+	bb := fp.BoundingBox()
+	if !(bb.W > 0 && bb.H > 0) {
+		return fmt.Errorf("hotspot: degenerate bounding box %v", bb)
+	}
+	// Terminal cells are roughly twice as tall as wide.
+	rows := int(math.Max(2, math.Round(float64(cols)*bb.H/bb.W/2)))
+
+	lo, hi := temps.Min(), temps.Max()
+	ramp := []byte(" .:-=+*#@")
+	bucket := func(t float64) byte {
+		if hi-lo < 1e-9 {
+			return ramp[len(ramp)/2]
+		}
+		i := 1 + int((t-lo)/(hi-lo)*float64(len(ramp)-2))
+		if i > len(ramp)-1 {
+			i = len(ramp) - 1
+		}
+		return ramp[i]
+	}
+
+	blocks := fp.Blocks()
+	var b strings.Builder
+	for r := rows - 1; r >= 0; r-- {
+		for c := 0; c < cols; c++ {
+			p := geom.Point{
+				X: bb.X + (float64(c)+0.5)/float64(cols)*bb.W,
+				Y: bb.Y + (float64(r)+0.5)/float64(rows)*bb.H,
+			}
+			ch := byte(' ')
+			for _, blk := range blocks {
+				if blk.Rect.Contains(p) {
+					if t, ok := temps.Of(blk.Name); ok {
+						ch = bucket(t)
+					}
+					break
+				}
+			}
+			b.WriteByte(ch)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "range %.1f–%.1f °C\n", lo, hi)
+	for _, name := range temps.Names() {
+		t, _ := temps.Of(name)
+		fmt.Fprintf(&b, "  %c %-8s %7.2f °C\n", bucket(t), name, t)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,76 @@
+package hotspot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"thermalsched/internal/floorplan"
+)
+
+func TestWriteHeatMap(t *testing.T) {
+	m := model4(t)
+	fp, err := floorplan.Grid("pe", 4, 16e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temps, err := m.SteadyState(map[string]float64{"pe0": 8, "pe3": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteHeatMap(&buf, fp, temps, 32); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "range") {
+		t.Errorf("heat map missing legend:\n%s", out)
+	}
+	for _, name := range []string{"pe0", "pe1", "pe2", "pe3"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("heat map missing block %s", name)
+		}
+	}
+	// The hottest block gets the hottest glyph.
+	if !strings.Contains(out, "@") {
+		t.Errorf("heat map has no hot cells:\n%s", out)
+	}
+}
+
+func TestWriteHeatMapUniform(t *testing.T) {
+	m := model4(t)
+	fp, err := floorplan.Grid("pe", 4, 16e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temps, err := m.SteadyState(nil) // everything at ambient
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteHeatMap(&buf, fp, temps, 16); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "45.0–45.0") {
+		t.Errorf("uniform map legend wrong:\n%s", buf.String())
+	}
+}
+
+func TestWriteHeatMapErrors(t *testing.T) {
+	m := model4(t)
+	fp, err := floorplan.Grid("pe", 4, 16e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temps, err := m.SteadyState(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteHeatMap(&buf, fp, temps, 4); err == nil {
+		t.Error("tiny column count accepted")
+	}
+	if err := WriteHeatMap(&buf, floorplan.New(), temps, 32); err == nil {
+		t.Error("empty floorplan accepted")
+	}
+}

@@ -1,0 +1,256 @@
+package hotspot
+
+import (
+	"fmt"
+	"math"
+
+	"thermalsched/internal/floorplan"
+	"thermalsched/internal/geom"
+	"thermalsched/internal/linalg"
+)
+
+// Model is a compact thermal network built from a floorplan. It is safe
+// for concurrent read-only use after construction.
+type Model struct {
+	cfg    Config
+	names  []string       // block names, in floorplan insertion order
+	byName map[string]int // name -> block index
+	n      int            // number of block nodes
+	// Node layout: 0..n-1 die blocks, n..2n-1 the per-block spreader
+	// regions, 2n the peripheral spreader ring, 2n+1 the heat sink.
+	// Ambient is the reference (ground).
+	total int
+	g     *linalg.Matrix   // conductance matrix (relative-to-ambient formulation)
+	chol  *linalg.Cholesky // cached factorization
+	caps  []float64        // node heat capacities (transient)
+}
+
+// NewModel builds the thermal network for fp under cfg. The floorplan
+// must be valid (non-empty, no overlaps).
+func NewModel(fp *floorplan.Floorplan, cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := fp.Validate(); err != nil {
+		return nil, fmt.Errorf("hotspot: %w", err)
+	}
+	blocks := fp.Blocks()
+	n := len(blocks)
+	total := 2*n + 2
+	ring, sink := 2*n, 2*n+1
+	spreaderOf := func(i int) int { return n + i }
+
+	m := &Model{
+		cfg:    cfg,
+		names:  fp.Names(),
+		byName: make(map[string]int, n),
+		n:      n,
+		total:  total,
+		g:      linalg.NewMatrix(total, total),
+		caps:   make([]float64, total),
+	}
+	for i, name := range m.names {
+		m.byName[name] = i
+	}
+
+	addConductance := func(i, j int, g float64) {
+		m.g.Add(i, i, g)
+		m.g.Add(j, j, g)
+		m.g.Add(i, j, -g)
+		m.g.Add(j, i, -g)
+	}
+
+	// Lateral conductances between abutting blocks, in the die and in
+	// the copper spreader: G = k · thickness · sharedEdge / centreDistance.
+	// The spreader path dominates (copper, thicker), which is what makes
+	// centre blocks run hotter than edge blocks — the spatial effect the
+	// thermal-aware scheduler exploits.
+	adj := fp.Adjacency(geom.Eps)
+	sharedOf := make([]float64, n) // total abutting edge length per block
+	for i, row := range adj {
+		for j, edge := range row {
+			sharedOf[i] += edge
+			sharedOf[j] += edge
+			d := blocks[i].Rect.Center().Dist(blocks[j].Rect.Center())
+			if d <= 0 {
+				continue
+			}
+			gDie := cfg.SiliconConductivity * cfg.DieThickness * edge / d
+			addConductance(i, j, gDie)
+			gSp := cfg.SpreaderConductivity * cfg.SpreaderThickness * edge / d
+			addConductance(spreaderOf(i), spreaderOf(j), gSp)
+		}
+	}
+
+	// Peripheral spreader ring: each block's spreader region couples to
+	// the ring through its exposed (non-abutting) perimeter. Edge blocks
+	// therefore sink heat into the package periphery that centre blocks
+	// cannot reach directly — the physical reason edge placements run
+	// cooler.
+	bbox := fp.BoundingBox()
+	ringArea := 2 * (bbox.W + bbox.H) * cfg.SpreaderRingWidth
+	for i, b := range blocks {
+		exposed := 2*(b.Rect.W+b.Rect.H) - sharedOf[i]
+		if exposed <= 0 {
+			continue
+		}
+		// Centre-of-block to centre-of-ring distance.
+		d := (math.Sqrt(b.Rect.Area()) + cfg.SpreaderRingWidth) / 2
+		g := cfg.SpreaderConductivity * cfg.SpreaderThickness * exposed / d
+		addConductance(spreaderOf(i), ring, g)
+	}
+
+	// Vertical paths. Block → its spreader region: die conduction in
+	// series with the interface material. Spreader region → sink: the
+	// total spreader-to-sink resistance apportioned by area share.
+	var totalArea float64
+	for _, b := range blocks {
+		totalArea += b.Rect.Area()
+	}
+	for i, b := range blocks {
+		area := b.Rect.Area()
+		rDie := cfg.DieThickness / (cfg.SiliconConductivity * area)
+		rIface := cfg.InterfaceResistivity / area
+		addConductance(i, spreaderOf(i), 1/(rDie+rIface))
+		rSp := cfg.SpreaderToSinkResistance * totalArea / area
+		addConductance(spreaderOf(i), sink, 1/rSp)
+		m.caps[i] = cfg.SiliconVolumetricHeat * area * cfg.DieThickness
+		m.caps[spreaderOf(i)] = cfg.SpreaderVolumetricHeat * area * cfg.SpreaderThickness
+	}
+
+	// Ring → sink: the spreader-to-sink resistance scaled by the ring's
+	// area share, like the per-block regions.
+	if ringArea > 0 {
+		rRing := cfg.SpreaderToSinkResistance * totalArea / ringArea
+		addConductance(ring, sink, 1/rRing)
+	}
+	m.caps[ring] = math.Max(cfg.SpreaderVolumetricHeat*ringArea*cfg.SpreaderThickness, 1e-6)
+
+	// Sink → ambient. Ambient is the reference node, so the convection
+	// conductance appears only on the sink's diagonal.
+	m.g.Add(sink, sink, 1/cfg.ConvectionResistance)
+	m.caps[sink] = cfg.SinkHeatCapacity
+
+	chol, err := linalg.FactorCholesky(m.g)
+	if err != nil {
+		return nil, fmt.Errorf("hotspot: conductance matrix not SPD (floorplan degenerate?): %w", err)
+	}
+	m.chol = chol
+	return m, nil
+}
+
+// Config returns the model's configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// BlockNames returns the block names in node order.
+func (m *Model) BlockNames() []string {
+	out := make([]string, len(m.names))
+	copy(out, m.names)
+	return out
+}
+
+// NumBlocks returns the number of block nodes (excluding spreader/sink).
+func (m *Model) NumBlocks() int { return m.n }
+
+// powerVector converts a name→watts map into the full node-power vector.
+// Unknown names are an error; blocks absent from the map dissipate zero.
+func (m *Model) powerVector(power map[string]float64) ([]float64, error) {
+	p := make([]float64, m.total)
+	for name, w := range power {
+		i, ok := m.byName[name]
+		if !ok {
+			return nil, fmt.Errorf("hotspot: power for unknown block %q", name)
+		}
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("hotspot: invalid power %g W for block %q", w, name)
+		}
+		p[i] = w
+	}
+	return p, nil
+}
+
+// Temps holds per-block steady-state or instantaneous temperatures in °C.
+type Temps struct {
+	names  []string
+	byName map[string]int
+	values []float64 // block temps only, °C
+}
+
+// Of returns the temperature of the named block.
+func (t Temps) Of(name string) (float64, bool) {
+	i, ok := t.byName[name]
+	if !ok {
+		return 0, false
+	}
+	return t.values[i], true
+}
+
+// Values returns the block temperatures in node order (copy).
+func (t Temps) Values() []float64 {
+	out := make([]float64, len(t.values))
+	copy(out, t.values)
+	return out
+}
+
+// Names returns the block names in node order (copy).
+func (t Temps) Names() []string {
+	out := make([]string, len(t.names))
+	copy(out, t.names)
+	return out
+}
+
+// Max returns the hottest block temperature.
+func (t Temps) Max() float64 { return linalg.Max(t.values) }
+
+// Min returns the coolest block temperature.
+func (t Temps) Min() float64 { return linalg.Min(t.values) }
+
+// Avg returns the mean block temperature — the quantity the paper's
+// thermal-aware ASP minimizes.
+func (t Temps) Avg() float64 { return linalg.Mean(t.values) }
+
+// Spread returns Max − Min, a measure of thermal evenness.
+func (t Temps) Spread() float64 { return t.Max() - t.Min() }
+
+// SteadyState solves the network for the given per-block power map
+// (watts) and returns block temperatures in °C.
+func (m *Model) SteadyState(power map[string]float64) (Temps, error) {
+	p, err := m.powerVector(power)
+	if err != nil {
+		return Temps{}, err
+	}
+	return m.steadyFromVector(p)
+}
+
+// SteadyStateVec is like SteadyState but takes powers indexed by block
+// node order (length NumBlocks). The scheduler's hot path uses this form
+// to avoid map allocation.
+func (m *Model) SteadyStateVec(power []float64) (Temps, error) {
+	if len(power) != m.n {
+		return Temps{}, fmt.Errorf("hotspot: power vector length %d, want %d", len(power), m.n)
+	}
+	p := make([]float64, m.total)
+	for i, w := range power {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return Temps{}, fmt.Errorf("hotspot: invalid power %g W for block %q", w, m.names[i])
+		}
+		p[i] = w
+	}
+	return m.steadyFromVector(p)
+}
+
+func (m *Model) steadyFromVector(p []float64) (Temps, error) {
+	rise, err := m.chol.Solve(p)
+	if err != nil {
+		return Temps{}, fmt.Errorf("hotspot: steady-state solve: %w", err)
+	}
+	vals := make([]float64, m.n)
+	for i := range vals {
+		vals[i] = rise[i] + m.cfg.AmbientC
+	}
+	return Temps{names: m.names, byName: m.byName, values: vals}, nil
+}
+
+// Conductance exposes the raw conductance matrix (a clone) for tests and
+// diagnostics.
+func (m *Model) Conductance() *linalg.Matrix { return m.g.Clone() }

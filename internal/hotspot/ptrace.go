@@ -1,0 +1,134 @@
+package hotspot
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PowerTrace is a sequence of per-block power samples, HotSpot .ptrace
+// style: a header of block names followed by one row of watts per
+// sampling interval.
+type PowerTrace struct {
+	Names   []string
+	Samples [][]float64 // each row has len(Names) entries
+}
+
+// Validate checks structural consistency.
+func (p *PowerTrace) Validate() error {
+	if len(p.Names) == 0 {
+		return fmt.Errorf("hotspot: power trace has no columns")
+	}
+	seen := make(map[string]bool, len(p.Names))
+	for _, n := range p.Names {
+		if n == "" {
+			return fmt.Errorf("hotspot: power trace has empty column name")
+		}
+		if seen[n] {
+			return fmt.Errorf("hotspot: duplicate power trace column %q", n)
+		}
+		seen[n] = true
+	}
+	for i, row := range p.Samples {
+		if len(row) != len(p.Names) {
+			return fmt.Errorf("hotspot: power trace row %d has %d values, want %d",
+				i, len(row), len(p.Names))
+		}
+		for j, v := range row {
+			if v < 0 {
+				return fmt.Errorf("hotspot: power trace row %d column %q negative (%g)",
+					i, p.Names[j], v)
+			}
+		}
+	}
+	return nil
+}
+
+// Write serializes the trace: whitespace-separated header then rows.
+func (p *PowerTrace) Write(w io.Writer) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, strings.Join(p.Names, "\t"))
+	for _, row := range p.Samples {
+		for j, v := range row {
+			if j > 0 {
+				bw.WriteByte('\t')
+			}
+			fmt.Fprintf(bw, "%.9g", v)
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// ReadPowerTrace parses a .ptrace-style stream (see Write).
+func ReadPowerTrace(r io.Reader) (*PowerTrace, error) {
+	sc := bufio.NewScanner(r)
+	var p PowerTrace
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if p.Names == nil {
+			p.Names = fields
+			continue
+		}
+		if len(fields) != len(p.Names) {
+			return nil, fmt.Errorf("hotspot: line %d: %d values, want %d", lineNo, len(fields), len(p.Names))
+		}
+		row := make([]float64, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("hotspot: line %d: bad number %q: %w", lineNo, f, err)
+			}
+			row[i] = v
+		}
+		p.Samples = append(p.Samples, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("hotspot: read power trace: %w", err)
+	}
+	if p.Names == nil {
+		return nil, fmt.Errorf("hotspot: empty power trace")
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Reorder returns the trace's samples re-indexed to match the given name
+// order (e.g. a Model's block order). Names absent from the trace yield
+// zero columns; extra trace columns are an error.
+func (p *PowerTrace) Reorder(names []string) ([][]float64, error) {
+	idx := make(map[string]int, len(names))
+	for i, n := range names {
+		idx[n] = i
+	}
+	colMap := make([]int, len(p.Names)) // trace column -> output column
+	for i, n := range p.Names {
+		j, ok := idx[n]
+		if !ok {
+			return nil, fmt.Errorf("hotspot: trace column %q not in target order", n)
+		}
+		colMap[i] = j
+	}
+	out := make([][]float64, len(p.Samples))
+	for s, row := range p.Samples {
+		o := make([]float64, len(names))
+		for i, v := range row {
+			o[colMap[i]] = v
+		}
+		out[s] = o
+	}
+	return out, nil
+}

@@ -1,0 +1,97 @@
+package hotspot
+
+import (
+	"fmt"
+
+	"thermalsched/internal/linalg"
+)
+
+// Transient integrates the thermal network over time with fixed-step
+// backward Euler. Construct one with Model.NewTransient; feed it power
+// samples with Step. The state starts at ambient.
+type Transient struct {
+	m       *Model
+	stepper *linalg.BackwardEulerStepper
+	state   []float64 // temperature rise over ambient, all nodes
+	now     float64   // elapsed simulated seconds
+}
+
+// NewTransient creates a transient simulation with time step dt seconds.
+func (m *Model) NewTransient(dt float64) (*Transient, error) {
+	st, err := linalg.NewBackwardEulerStepper(m.g, m.caps, dt)
+	if err != nil {
+		return nil, fmt.Errorf("hotspot: transient init: %w", err)
+	}
+	return &Transient{
+		m:       m,
+		stepper: st,
+		state:   make([]float64, m.total),
+	}, nil
+}
+
+// Reset returns the simulation to ambient at t = 0.
+func (tr *Transient) Reset() {
+	for i := range tr.state {
+		tr.state[i] = 0
+	}
+	tr.now = 0
+}
+
+// Time returns the elapsed simulated time in seconds.
+func (tr *Transient) Time() float64 { return tr.now }
+
+// Step advances one time step under the given per-block power map and
+// returns the block temperatures after the step.
+func (tr *Transient) Step(power map[string]float64) (Temps, error) {
+	p, err := tr.m.powerVector(power)
+	if err != nil {
+		return Temps{}, err
+	}
+	return tr.stepVec(p)
+}
+
+// StepVec advances one time step with powers indexed by block node order.
+func (tr *Transient) StepVec(power []float64) (Temps, error) {
+	if len(power) != tr.m.n {
+		return Temps{}, fmt.Errorf("hotspot: power vector length %d, want %d", len(power), tr.m.n)
+	}
+	p := make([]float64, tr.m.total)
+	copy(p, power)
+	return tr.stepVec(p)
+}
+
+func (tr *Transient) stepVec(p []float64) (Temps, error) {
+	next, err := tr.stepper.Step(tr.state, p)
+	if err != nil {
+		return Temps{}, fmt.Errorf("hotspot: transient step: %w", err)
+	}
+	tr.state = next
+	tr.now += tr.stepper.Dt()
+	return tr.snapshot(), nil
+}
+
+// Temps returns the current block temperatures without advancing time.
+func (tr *Transient) Temps() Temps { return tr.snapshot() }
+
+func (tr *Transient) snapshot() Temps {
+	vals := make([]float64, tr.m.n)
+	for i := range vals {
+		vals[i] = tr.state[i] + tr.m.cfg.AmbientC
+	}
+	return Temps{names: tr.m.names, byName: tr.m.byName, values: vals}
+}
+
+// Run integrates a sequence of power samples (each a per-block vector in
+// node order, applied for one step) and returns the trajectory of block
+// temperatures, one Temps per step.
+func (tr *Transient) Run(samples [][]float64) ([]Temps, error) {
+	out := make([]Temps, 0, len(samples))
+	for i, s := range samples {
+		t, err := tr.StepVec(s)
+		if err != nil {
+			return nil, fmt.Errorf("hotspot: sample %d: %w", i, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

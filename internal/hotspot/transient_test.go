@@ -1,0 +1,125 @@
+package hotspot
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTransientStartsAtAmbient(t *testing.T) {
+	m := model4(t)
+	tr, err := m.NewTransient(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temps := tr.Temps()
+	if math.Abs(temps.Max()-DefaultConfig().AmbientC) > 1e-9 {
+		t.Errorf("initial temp %v, want ambient", temps.Max())
+	}
+	if tr.Time() != 0 {
+		t.Errorf("initial time %v", tr.Time())
+	}
+}
+
+func TestTransientConvergesToSteadyState(t *testing.T) {
+	m := model4(t)
+	power := map[string]float64{"pe0": 4, "pe1": 2, "pe2": 1, "pe3": 3}
+	want, err := m.SteadyState(power)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := m.NewTransient(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Temps
+	// The sink has hundreds of J/K and ~2 K/W to ambient: settle for a
+	// long simulated time.
+	for i := 0; i < 20000; i++ {
+		got, err = tr.Step(power)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, v := range got.Values() {
+		if math.Abs(v-want.Values()[i]) > 0.05 {
+			t.Errorf("block %d transient %v vs steady %v", i, v, want.Values()[i])
+		}
+	}
+}
+
+func TestTransientMonotoneWarmup(t *testing.T) {
+	m := model4(t)
+	tr, err := m.NewTransient(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	power := map[string]float64{"pe0": 5}
+	prev := -math.MaxFloat64
+	for i := 0; i < 100; i++ {
+		temps, err := tr.Step(power)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if max := temps.Max(); max < prev-1e-9 {
+			t.Fatalf("warm-up not monotone at step %d: %v < %v", i, max, prev)
+		} else {
+			prev = max
+		}
+	}
+	if math.Abs(tr.Time()-10.0) > 1e-9 {
+		t.Errorf("Time = %v, want 10", tr.Time())
+	}
+}
+
+func TestTransientCooldown(t *testing.T) {
+	m := model4(t)
+	tr, err := m.NewTransient(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := map[string]float64{"pe0": 10}
+	for i := 0; i < 200; i++ {
+		if _, err := tr.Step(hot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	peakAfterHeat := tr.Temps().Max()
+	for i := 0; i < 200; i++ {
+		if _, err := tr.Step(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	peakAfterCool := tr.Temps().Max()
+	if peakAfterCool >= peakAfterHeat {
+		t.Errorf("cooling failed: %v -> %v", peakAfterHeat, peakAfterCool)
+	}
+	tr.Reset()
+	if tr.Time() != 0 || math.Abs(tr.Temps().Max()-DefaultConfig().AmbientC) > 1e-9 {
+		t.Error("Reset did not restore ambient state")
+	}
+}
+
+func TestTransientRunAndErrors(t *testing.T) {
+	m := model4(t)
+	tr, err := m.NewTransient(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := [][]float64{{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}}
+	traj, err := tr.Run(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj) != 3 {
+		t.Fatalf("trajectory length %d", len(traj))
+	}
+	if _, err := tr.StepVec([]float64{1}); err == nil {
+		t.Error("short power vector accepted")
+	}
+	if _, err := tr.Step(map[string]float64{"bogus": 1}); err == nil {
+		t.Error("unknown block accepted")
+	}
+	if _, err := m.NewTransient(-1); err == nil {
+		t.Error("negative dt accepted")
+	}
+}

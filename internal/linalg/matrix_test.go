@@ -1,0 +1,256 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func vecAlmostEq(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !almostEq(a[i], b[i], tol) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNewMatrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMatrix(0, 3) should panic")
+		}
+	}()
+	NewMatrix(0, 3)
+}
+
+func TestNewMatrixFromPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMatrixFrom with wrong length should panic")
+		}
+	}()
+	NewMatrixFrom(2, 2, []float64{1, 2, 3})
+}
+
+func TestMatrixAccessors(t *testing.T) {
+	m := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("dims = %dx%d", m.Rows(), m.Cols())
+	}
+	if m.At(1, 2) != 6 {
+		t.Errorf("At(1,2) = %v, want 6", m.At(1, 2))
+	}
+	m.Set(0, 1, 9)
+	if m.At(0, 1) != 9 {
+		t.Errorf("Set/At = %v, want 9", m.At(0, 1))
+	}
+	m.Add(0, 1, 1)
+	if m.At(0, 1) != 10 {
+		t.Errorf("Add = %v, want 10", m.At(0, 1))
+	}
+	row := m.Row(1)
+	if !vecAlmostEq(row, []float64{4, 5, 6}, 0) {
+		t.Errorf("Row(1) = %v", row)
+	}
+	row[0] = 99 // must not alias
+	if m.At(1, 0) == 99 {
+		t.Error("Row must return a copy")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	x := []float64{1, 2, 3}
+	if got := id.MulVec(x); !vecAlmostEq(got, x, 0) {
+		t.Errorf("I·x = %v, want %v", got, x)
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := NewMatrixFrom(2, 2, []float64{1, 2, 3, 4})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone must not alias the original")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	got := m.MulVec([]float64{1, 1, 1})
+	if !vecAlmostEq(got, []float64{6, 15}, 1e-12) {
+		t.Errorf("MulVec = %v, want [6 15]", got)
+	}
+}
+
+func TestMulVecDimPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MulVec with wrong length should panic")
+		}
+	}()
+	NewMatrix(2, 3).MulVec([]float64{1, 2})
+}
+
+func TestMul(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 3, 4})
+	b := NewMatrixFrom(2, 2, []float64{5, 6, 7, 8})
+	got := a.Mul(b)
+	want := NewMatrixFrom(2, 2, []float64{19, 22, 43, 50})
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if got.At(i, j) != want.At(i, j) {
+				t.Fatalf("Mul = \n%v want \n%v", got, want)
+			}
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	mt := m.Transpose()
+	if mt.Rows() != 3 || mt.Cols() != 2 {
+		t.Fatalf("Transpose dims = %dx%d", mt.Rows(), mt.Cols())
+	}
+	if mt.At(2, 1) != 6 || mt.At(0, 1) != 4 {
+		t.Errorf("Transpose values wrong: %v", mt)
+	}
+}
+
+func TestScaleAndAddMatrix(t *testing.T) {
+	m := NewMatrixFrom(2, 2, []float64{1, 2, 3, 4})
+	m.Scale(2)
+	if m.At(1, 1) != 8 {
+		t.Errorf("Scale: At(1,1) = %v, want 8", m.At(1, 1))
+	}
+	s := m.AddMatrix(Identity(2))
+	if s.At(0, 0) != 3 || s.At(1, 1) != 9 {
+		t.Errorf("AddMatrix wrong: %v", s)
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	sym := NewMatrixFrom(2, 2, []float64{2, -1, -1, 2})
+	if !sym.IsSymmetric(0) {
+		t.Error("symmetric matrix reported asymmetric")
+	}
+	asym := NewMatrixFrom(2, 2, []float64{2, -1, 0, 2})
+	if asym.IsSymmetric(1e-12) {
+		t.Error("asymmetric matrix reported symmetric")
+	}
+	if NewMatrix(2, 3).IsSymmetric(0) {
+		t.Error("non-square matrix cannot be symmetric")
+	}
+}
+
+func TestMaxAbsAndString(t *testing.T) {
+	m := NewMatrixFrom(2, 2, []float64{-7, 2, 3, 4})
+	if m.MaxAbs() != 7 {
+		t.Errorf("MaxAbs = %v, want 7", m.MaxAbs())
+	}
+	if !strings.Contains(m.String(), "-7") {
+		t.Errorf("String output missing value: %q", m.String())
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if Dot(a, b) != 32 {
+		t.Errorf("Dot = %v, want 32", Dot(a, b))
+	}
+	if !almostEq(Norm2([]float64{3, 4}), 5, 1e-12) {
+		t.Errorf("Norm2 = %v, want 5", Norm2([]float64{3, 4}))
+	}
+	if NormInf([]float64{-9, 2}) != 9 {
+		t.Error("NormInf wrong")
+	}
+	y := []float64{1, 1, 1}
+	AXPY(2, a, y)
+	if !vecAlmostEq(y, []float64{3, 5, 7}, 0) {
+		t.Errorf("AXPY = %v", y)
+	}
+	if !vecAlmostEq(SubVec(b, a), []float64{3, 3, 3}, 0) {
+		t.Error("SubVec wrong")
+	}
+	if !vecAlmostEq(AddVec(a, a), []float64{2, 4, 6}, 0) {
+		t.Error("AddVec wrong")
+	}
+	if !vecAlmostEq(ScaleVec(3, a), []float64{3, 6, 9}, 0) {
+		t.Error("ScaleVec wrong")
+	}
+	if Mean(a) != 2 {
+		t.Errorf("Mean = %v, want 2", Mean(a))
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) should be 0")
+	}
+	if Max(a) != 3 || Min(a) != 1 {
+		t.Error("Max/Min wrong")
+	}
+}
+
+func TestMaxMinPanicOnEmpty(t *testing.T) {
+	for _, f := range []func([]float64) float64{Max, Min} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("Max/Min of empty vector should panic")
+				}
+			}()
+			f(nil)
+		}()
+	}
+}
+
+// Property: (AᵀB)ᵀ = BᵀA for random matrices.
+func TestTransposeMulProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		a := randomMatrix(rng, n, n)
+		b := randomMatrix(rng, n, n)
+		lhs := a.Transpose().Mul(b).Transpose()
+		rhs := b.Transpose().Mul(a)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if !almostEq(lhs.At(i, j), rhs.At(i, j), 1e-9) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomMatrix(rng *rand.Rand, r, c int) *Matrix {
+	m := NewMatrix(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+// randomSPD returns a random symmetric positive-definite matrix
+// A = BᵀB + n·I (shared by the solver tests).
+func randomSPD(rng *rand.Rand, n int) *Matrix {
+	b := randomMatrix(rng, n, n)
+	a := b.Transpose().Mul(b)
+	for i := 0; i < n; i++ {
+		a.Add(i, i, float64(n))
+	}
+	return a
+}

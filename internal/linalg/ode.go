@@ -1,0 +1,103 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The transient thermal model is the linear ODE
+//
+//	C·dT/dt = P(t) − G·T
+//
+// with diagonal capacitance C, conductance G and power injection P.
+// BackwardEuler is unconditionally stable and is the default integrator;
+// RK4 is provided for cross-checking accuracy on small steps.
+
+// BackwardEulerStepper integrates C·dT/dt = P − G·T with the implicit
+// scheme (C/dt + G)·T₊ = C/dt·T + P. The left-hand matrix is factored
+// once at construction, so stepping is O(n²) per step.
+type BackwardEulerStepper struct {
+	n    int
+	dt   float64
+	caps []float64 // diagonal capacitances (copy)
+	lu   *LU
+}
+
+// NewBackwardEulerStepper builds a stepper for conductance matrix g
+// (n×n), diagonal capacitances c (length n) and fixed step dt (seconds).
+func NewBackwardEulerStepper(g *Matrix, c []float64, dt float64) (*BackwardEulerStepper, error) {
+	n := g.Rows()
+	if g.Cols() != n {
+		return nil, fmt.Errorf("linalg: conductance matrix must be square, got %dx%d", n, g.Cols())
+	}
+	if len(c) != n {
+		return nil, fmt.Errorf("linalg: capacitance length %d, want %d", len(c), n)
+	}
+	if dt <= 0 {
+		return nil, errors.New("linalg: step size must be positive")
+	}
+	for i, ci := range c {
+		if ci <= 0 {
+			return nil, fmt.Errorf("linalg: capacitance[%d] = %g, must be positive", i, ci)
+		}
+	}
+	lhs := g.Clone()
+	for i := 0; i < n; i++ {
+		lhs.Add(i, i, c[i]/dt)
+	}
+	lu, err := FactorLU(lhs)
+	if err != nil {
+		return nil, fmt.Errorf("linalg: factor backward-Euler system: %w", err)
+	}
+	cc := make([]float64, n)
+	copy(cc, c)
+	return &BackwardEulerStepper{n: n, dt: dt, caps: cc, lu: lu}, nil
+}
+
+// Dt returns the fixed step size.
+func (s *BackwardEulerStepper) Dt() float64 { return s.dt }
+
+// Step advances the state t by one step under power injection p and
+// returns the new state. t and p are not modified.
+func (s *BackwardEulerStepper) Step(t, p []float64) ([]float64, error) {
+	if len(t) != s.n || len(p) != s.n {
+		return nil, fmt.Errorf("linalg: Step lengths t=%d p=%d, want %d", len(t), len(p), s.n)
+	}
+	rhs := make([]float64, s.n)
+	for i := range rhs {
+		rhs[i] = s.caps[i]/s.dt*t[i] + p[i]
+	}
+	return s.lu.Solve(rhs)
+}
+
+// RK4Step advances C·dT/dt = p − G·t by one explicit classical
+// Runge-Kutta step of size dt and returns the new state. Explicit
+// integration of a stiff RC network needs small dt; this exists to
+// cross-validate BackwardEulerStepper in tests.
+func RK4Step(g *Matrix, c, t, p []float64, dt float64) []float64 {
+	deriv := func(state []float64) []float64 {
+		gt := g.MulVec(state)
+		d := make([]float64, len(state))
+		for i := range d {
+			d[i] = (p[i] - gt[i]) / c[i]
+		}
+		return d
+	}
+	k1 := deriv(t)
+	k2 := deriv(addScaled(t, dt/2, k1))
+	k3 := deriv(addScaled(t, dt/2, k2))
+	k4 := deriv(addScaled(t, dt, k3))
+	out := make([]float64, len(t))
+	for i := range out {
+		out[i] = t[i] + dt/6*(k1[i]+2*k2[i]+2*k3[i]+k4[i])
+	}
+	return out
+}
+
+func addScaled(base []float64, s float64, v []float64) []float64 {
+	out := make([]float64, len(base))
+	for i := range out {
+		out[i] = base[i] + s*v[i]
+	}
+	return out
+}

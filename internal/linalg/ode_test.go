@@ -1,0 +1,144 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+)
+
+// A single RC node: C·dT/dt = P − G·T has the closed form
+// T(t) = P/G + (T0 − P/G)·exp(−G·t/C).
+func TestBackwardEulerSingleNodeConvergesToAnalytic(t *testing.T) {
+	g := NewMatrixFrom(1, 1, []float64{2.0}) // G = 2 W/K
+	c := []float64{4.0}                      // C = 4 J/K
+	p := []float64{10.0}                     // P = 10 W
+	dt := 0.001
+	st, err := NewBackwardEulerStepper(g, c, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := []float64{0}
+	steps := 2000
+	for i := 0; i < steps; i++ {
+		state, err = st.Step(state, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	tEnd := float64(steps) * dt
+	analytic := 5.0 + (0-5.0)*math.Exp(-2.0*tEnd/4.0)
+	if !almostEq(state[0], analytic, 0.01) {
+		t.Errorf("T(%v) = %v, analytic %v", tEnd, state[0], analytic)
+	}
+}
+
+func TestBackwardEulerReachesSteadyState(t *testing.T) {
+	// Two coupled nodes; at steady state G·T = P.
+	g := NewMatrixFrom(2, 2, []float64{3, -1, -1, 2})
+	c := []float64{1, 1}
+	p := []float64{5, 0}
+	st, err := NewBackwardEulerStepper(g, c, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := []float64{0, 0}
+	for i := 0; i < 5000; i++ {
+		state, err = st.Step(state, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := SolveLU(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecAlmostEq(state, want, 1e-6) {
+		t.Errorf("steady state = %v, want %v", state, want)
+	}
+}
+
+func TestBackwardEulerStability(t *testing.T) {
+	// Huge step on a stiff system must not blow up (unconditional stability).
+	g := NewMatrixFrom(2, 2, []float64{1000, -1, -1, 1000})
+	c := []float64{1e-3, 1e-3}
+	p := []float64{1, 1}
+	st, err := NewBackwardEulerStepper(g, c, 10.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := []float64{100, -100}
+	for i := 0; i < 50; i++ {
+		state, err = st.Step(state, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsNaN(state[0]) || math.Abs(state[0]) > 1e6 {
+			t.Fatalf("diverged at step %d: %v", i, state)
+		}
+	}
+}
+
+func TestBackwardEulerAgreesWithRK4(t *testing.T) {
+	g := NewMatrixFrom(2, 2, []float64{5, -2, -2, 4})
+	c := []float64{2, 3}
+	p := []float64{7, 1}
+	dt := 1e-4
+	st, err := NewBackwardEulerStepper(g, c, dt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := []float64{0, 0}
+	rk := []float64{0, 0}
+	for i := 0; i < 5000; i++ {
+		be, err = st.Step(be, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rk = RK4Step(g, c, rk, p, dt)
+	}
+	if !vecAlmostEq(be, rk, 1e-3) {
+		t.Errorf("backward Euler %v vs RK4 %v", be, rk)
+	}
+}
+
+func TestBackwardEulerStepperValidation(t *testing.T) {
+	g := Identity(2)
+	c := []float64{1, 1}
+	cases := []struct {
+		name string
+		f    func() error
+	}{
+		{"non-square", func() error {
+			_, err := NewBackwardEulerStepper(NewMatrix(2, 3), c, 0.1)
+			return err
+		}},
+		{"cap length", func() error {
+			_, err := NewBackwardEulerStepper(g, []float64{1}, 0.1)
+			return err
+		}},
+		{"zero dt", func() error {
+			_, err := NewBackwardEulerStepper(g, c, 0)
+			return err
+		}},
+		{"negative capacitance", func() error {
+			_, err := NewBackwardEulerStepper(g, []float64{1, -1}, 0.1)
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.f() == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+	st, err := NewBackwardEulerStepper(g, c, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dt() != 0.1 {
+		t.Errorf("Dt = %v", st.Dt())
+	}
+	if _, err := st.Step([]float64{1}, []float64{1, 1}); err == nil {
+		t.Error("Step with short state should error")
+	}
+}

@@ -1,0 +1,281 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorization meets an (effectively)
+// singular pivot.
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// ErrNotSPD is returned by Cholesky when the matrix is not symmetric
+// positive definite.
+var ErrNotSPD = errors.New("linalg: matrix is not symmetric positive definite")
+
+// ErrNoConverge is returned by iterative solvers that exhaust their
+// iteration budget.
+var ErrNoConverge = errors.New("linalg: iterative solver did not converge")
+
+// LU is an LU factorization with partial pivoting: P·A = L·U.
+// It is the workhorse behind steady-state and backward-Euler transient
+// thermal solves; factor once, solve many right-hand sides.
+type LU struct {
+	n    int
+	lu   *Matrix // packed L (unit diagonal, strictly below) and U (on/above diagonal)
+	piv  []int   // piv[k] = row swapped into position k at step k
+	sign float64 // permutation parity, for Det
+}
+
+// FactorLU computes the LU factorization of the square matrix a.
+// a is not modified.
+func FactorLU(a *Matrix) (*LU, error) {
+	if a.Rows() != a.Cols() {
+		return nil, fmt.Errorf("linalg: FactorLU needs square matrix, got %dx%d", a.Rows(), a.Cols())
+	}
+	n := a.Rows()
+	f := &LU{n: n, lu: a.Clone(), piv: make([]int, n), sign: 1}
+	lu := f.lu
+	for k := 0; k < n; k++ {
+		// Partial pivoting: largest |value| in column k at/below row k.
+		p := k
+		maxAbs := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > maxAbs {
+				maxAbs, p = v, i
+			}
+		}
+		if maxAbs == 0 {
+			return nil, ErrSingular
+		}
+		f.piv[k] = p
+		if p != k {
+			f.sign = -f.sign
+			for j := 0; j < n; j++ {
+				vp, vk := lu.At(p, j), lu.At(k, j)
+				lu.Set(p, j, vk)
+				lu.Set(k, j, vp)
+			}
+		}
+		inv := 1 / lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			l := lu.At(i, k) * inv
+			lu.Set(i, k, l)
+			if l == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu.Add(i, j, -l*lu.At(k, j))
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A·x = b for one right-hand side. b is not modified.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.n {
+		return nil, fmt.Errorf("linalg: LU.Solve rhs length %d, want %d", len(b), f.n)
+	}
+	x := make([]float64, f.n)
+	copy(x, b)
+	// Apply the row swaps to the RHS in factorization order.
+	for k := 0; k < f.n; k++ {
+		if p := f.piv[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	// Forward substitution with unit-lower L.
+	for i := 1; i < f.n; i++ {
+		var s float64
+		for j := 0; j < i; j++ {
+			s += f.lu.At(i, j) * x[j]
+		}
+		x[i] -= s
+	}
+	// Back substitution with U.
+	for i := f.n - 1; i >= 0; i-- {
+		var s float64
+		for j := i + 1; j < f.n; j++ {
+			s += f.lu.At(i, j) * x[j]
+		}
+		x[i] = (x[i] - s) / f.lu.At(i, i)
+	}
+	return x, nil
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := f.sign
+	for i := 0; i < f.n; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// SolveLU is a convenience wrapper: factor a and solve a·x = b once.
+func SolveLU(a *Matrix, b []float64) ([]float64, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// Cholesky is the factorization A = L·Lᵀ of a symmetric positive-definite
+// matrix. Thermal conductance matrices are SPD by construction, so this is
+// the preferred steady-state solver; LU remains the general fallback.
+type Cholesky struct {
+	n int
+	l *Matrix // lower triangular
+}
+
+// FactorCholesky computes the Cholesky factorization of a. It returns
+// ErrNotSPD if a is not symmetric (within a loose tolerance) or a pivot
+// is non-positive.
+func FactorCholesky(a *Matrix) (*Cholesky, error) {
+	if a.Rows() != a.Cols() {
+		return nil, fmt.Errorf("linalg: FactorCholesky needs square matrix, got %dx%d", a.Rows(), a.Cols())
+	}
+	if !a.IsSymmetric(1e-8 * (1 + a.MaxAbs())) {
+		return nil, ErrNotSPD
+	}
+	n := a.Rows()
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 {
+			return nil, ErrNotSPD
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	return &Cholesky{n: n, l: l}, nil
+}
+
+// Solve solves A·x = b using the factorization.
+func (c *Cholesky) Solve(b []float64) ([]float64, error) {
+	if len(b) != c.n {
+		return nil, fmt.Errorf("linalg: Cholesky.Solve rhs length %d, want %d", len(b), c.n)
+	}
+	// L·y = b
+	y := make([]float64, c.n)
+	for i := 0; i < c.n; i++ {
+		s := b[i]
+		for j := 0; j < i; j++ {
+			s -= c.l.At(i, j) * y[j]
+		}
+		y[i] = s / c.l.At(i, i)
+	}
+	// Lᵀ·x = y
+	x := make([]float64, c.n)
+	for i := c.n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < c.n; j++ {
+			s -= c.l.At(j, i) * x[j]
+		}
+		x[i] = s / c.l.At(i, i)
+	}
+	return x, nil
+}
+
+// SolveSPD solves a·x = b for an SPD matrix, trying Cholesky first and
+// falling back to LU if the matrix fails the SPD checks (e.g. because of
+// asymmetric rounding in network assembly).
+func SolveSPD(a *Matrix, b []float64) ([]float64, error) {
+	if c, err := FactorCholesky(a); err == nil {
+		return c.Solve(b)
+	}
+	return SolveLU(a, b)
+}
+
+// SolveTridiag solves a tridiagonal system with the Thomas algorithm.
+// sub, diag, sup are the sub-, main and super-diagonals; len(sub) and
+// len(sup) must be len(diag)-1. The inputs are not modified.
+func SolveTridiag(sub, diag, sup, b []float64) ([]float64, error) {
+	n := len(diag)
+	if n == 0 {
+		return nil, errors.New("linalg: SolveTridiag empty system")
+	}
+	if len(sub) != n-1 || len(sup) != n-1 || len(b) != n {
+		return nil, fmt.Errorf("linalg: SolveTridiag inconsistent lengths sub=%d diag=%d sup=%d b=%d",
+			len(sub), len(diag), len(sup), len(b))
+	}
+	c := make([]float64, n-1)
+	d := make([]float64, n)
+	if diag[0] == 0 {
+		return nil, ErrSingular
+	}
+	if n > 1 {
+		c[0] = sup[0] / diag[0]
+	}
+	d[0] = b[0] / diag[0]
+	for i := 1; i < n; i++ {
+		den := diag[i] - sub[i-1]*c[i-1]
+		if den == 0 {
+			return nil, ErrSingular
+		}
+		if i < n-1 {
+			c[i] = sup[i] / den
+		}
+		d[i] = (b[i] - sub[i-1]*d[i-1]) / den
+	}
+	x := make([]float64, n)
+	x[n-1] = d[n-1]
+	for i := n - 2; i >= 0; i-- {
+		x[i] = d[i] - c[i]*x[i+1]
+	}
+	return x, nil
+}
+
+// CG solves the SPD system a·x = b with the conjugate-gradient method,
+// starting from the zero vector, to relative residual tol (on ‖b‖) within
+// maxIter iterations. It exists as an ablation/verification path for the
+// direct solvers and for larger grids.
+func CG(a *Matrix, b []float64, tol float64, maxIter int) ([]float64, error) {
+	n := len(b)
+	if a.Rows() != n || a.Cols() != n {
+		return nil, fmt.Errorf("linalg: CG dimension mismatch %dx%d vs %d", a.Rows(), a.Cols(), n)
+	}
+	x := make([]float64, n)
+	r := make([]float64, n)
+	copy(r, b)
+	p := make([]float64, n)
+	copy(p, b)
+	bnorm := Norm2(b)
+	if bnorm == 0 {
+		return x, nil
+	}
+	rs := Dot(r, r)
+	for it := 0; it < maxIter; it++ {
+		ap := a.MulVec(p)
+		den := Dot(p, ap)
+		if den <= 0 {
+			return nil, ErrNotSPD
+		}
+		alpha := rs / den
+		AXPY(alpha, p, x)
+		AXPY(-alpha, ap, r)
+		rsNew := Dot(r, r)
+		if math.Sqrt(rsNew) <= tol*bnorm {
+			return x, nil
+		}
+		beta := rsNew / rs
+		for i := range p {
+			p[i] = r[i] + beta*p[i]
+		}
+		rs = rsNew
+	}
+	return nil, ErrNoConverge
+}

@@ -1,0 +1,119 @@
+package power
+
+import (
+	"fmt"
+	"math"
+)
+
+// LeakageModel captures the exponential temperature dependence of leakage
+// power the paper's introduction motivates: each block leaks
+//
+//	P_leak(T) = Base · exp(Coeff · (T − RefC))
+//
+// watts on top of its dynamic power. Because leakage raises temperature
+// and temperature raises leakage, the steady state is a fixed point,
+// which FixedPoint computes by damped iteration.
+type LeakageModel struct {
+	// Base is the leakage power at the reference temperature, W per block.
+	Base float64
+	// Coeff is the exponential slope, 1/°C. Silicon-typical values are
+	// 0.01–0.05 /°C.
+	Coeff float64
+	// RefC is the reference temperature in °C.
+	RefC float64
+}
+
+// DefaultLeakage returns a model calibrated to contribute ~10% extra
+// power at the benchmarks' operating points.
+func DefaultLeakage() LeakageModel {
+	return LeakageModel{Base: 0.15, Coeff: 0.025, RefC: 45}
+}
+
+// Validate reports the first implausible parameter.
+func (l LeakageModel) Validate() error {
+	if l.Base < 0 || math.IsNaN(l.Base) {
+		return fmt.Errorf("power: leakage base %g invalid", l.Base)
+	}
+	if l.Coeff < 0 || l.Coeff > 1 {
+		return fmt.Errorf("power: leakage coefficient %g out of [0,1]", l.Coeff)
+	}
+	return nil
+}
+
+// At returns the leakage power at temperature tC.
+func (l LeakageModel) At(tC float64) float64 {
+	return l.Base * math.Exp(l.Coeff*(tC-l.RefC))
+}
+
+// Solver abstracts the thermal model for the fixed-point iteration:
+// given per-block power, return per-block temperatures (°C). It matches
+// the signature the hotspot package provides via a small closure.
+type Solver func(power []float64) ([]float64, error)
+
+// FixedPointResult reports the outcome of a leakage fixed-point solve.
+type FixedPointResult struct {
+	Temps      []float64 // final block temperatures, °C
+	Leakage    []float64 // final per-block leakage, W
+	TotalPower []float64 // dynamic + leakage per block, W
+	Iterations int
+}
+
+// FixedPoint iterates T = solve(P_dyn + leak(T)) with damping until the
+// temperature change drops below tol (°C) or maxIter is hit. It errors
+// on thermal runaway (temperatures diverging past 1000 °C).
+func (l LeakageModel) FixedPoint(dynamic []float64, solve Solver, tol float64, maxIter int) (*FixedPointResult, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if tol <= 0 {
+		return nil, fmt.Errorf("power: tolerance must be positive, got %g", tol)
+	}
+	if maxIter < 1 {
+		return nil, fmt.Errorf("power: maxIter must be at least 1, got %d", maxIter)
+	}
+	n := len(dynamic)
+	leak := make([]float64, n)
+	for i := range leak {
+		leak[i] = l.Base
+	}
+	var temps []float64
+	for it := 1; it <= maxIter; it++ {
+		total := make([]float64, n)
+		for i := range total {
+			total[i] = dynamic[i] + leak[i]
+		}
+		next, err := solve(total)
+		if err != nil {
+			return nil, fmt.Errorf("power: leakage iteration %d: %w", it, err)
+		}
+		if len(next) != n {
+			return nil, fmt.Errorf("power: solver returned %d temps for %d blocks", len(next), n)
+		}
+		var delta float64
+		for i, t := range next {
+			if t > 1000 {
+				return nil, fmt.Errorf("power: thermal runaway (block %d at %.0f °C)", i, t)
+			}
+			if temps != nil {
+				delta = math.Max(delta, math.Abs(t-temps[i]))
+			} else {
+				delta = math.Inf(1)
+			}
+		}
+		temps = next
+		// Damped leakage update for stable convergence.
+		for i := range leak {
+			leak[i] = 0.5*leak[i] + 0.5*l.At(temps[i])
+		}
+		if delta < tol {
+			total := make([]float64, n)
+			for i := range total {
+				total[i] = dynamic[i] + leak[i]
+			}
+			return &FixedPointResult{
+				Temps: temps, Leakage: leak, TotalPower: total, Iterations: it,
+			}, nil
+		}
+	}
+	return nil, fmt.Errorf("power: leakage fixed point did not converge in %d iterations", maxIter)
+}

@@ -1,0 +1,162 @@
+// Package power converts schedules into the power-domain quantities the
+// thermal model and the paper's tables consume: per-PE energies and
+// time-averaged powers, step-function power profiles, sampled transient
+// traces, and a temperature-dependent leakage extension (the paper's §1
+// motivates exactly this feedback: "leakage power increases exponentially
+// with the temperature increase").
+package power
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"thermalsched/internal/sched"
+)
+
+// Interval is one busy stretch of a PE: [Start, Finish) at Power watts.
+type Interval struct {
+	Task   int
+	Start  float64
+	Finish float64
+	Power  float64
+}
+
+// Profile is the per-PE power timeline of one schedule.
+type Profile struct {
+	// PENames lists the PEs in architecture order.
+	PENames []string
+	// Busy holds each PE's busy intervals sorted by start time.
+	Busy [][]Interval
+	// Horizon is the profile's time span (the schedule makespan).
+	Horizon float64
+	// IdlePower is the per-PE idle dissipation applied between intervals.
+	IdlePower []float64
+}
+
+// FromSchedule extracts the power profile of a schedule, including each
+// PE type's idle power.
+func FromSchedule(s *sched.Schedule) (*Profile, error) {
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("power: %w", err)
+	}
+	nPE := len(s.Arch.PEs)
+	p := &Profile{
+		PENames:   s.Arch.PENames(),
+		Busy:      make([][]Interval, nPE),
+		Horizon:   s.Makespan,
+		IdlePower: make([]float64, nPE),
+	}
+	for i, pe := range s.Arch.PEs {
+		p.IdlePower[i] = s.Lib.PEType(pe.Type).IdlePower
+	}
+	for _, a := range s.Assignments {
+		p.Busy[a.PE] = append(p.Busy[a.PE], Interval{
+			Task: a.Task, Start: a.Start, Finish: a.Finish, Power: a.Power,
+		})
+	}
+	for pe := range p.Busy {
+		sort.Slice(p.Busy[pe], func(i, j int) bool {
+			return p.Busy[pe][i].Start < p.Busy[pe][j].Start
+		})
+	}
+	return p, nil
+}
+
+// PowerAt returns each PE's instantaneous power at time t.
+func (p *Profile) PowerAt(t float64) []float64 {
+	out := make([]float64, len(p.Busy))
+	for pe, ivs := range p.Busy {
+		out[pe] = p.IdlePower[pe]
+		for _, iv := range ivs {
+			if t >= iv.Start && t < iv.Finish {
+				out[pe] = iv.Power + p.IdlePower[pe]
+				break
+			}
+			if iv.Start > t {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Energy returns each PE's total energy over the horizon: busy energy
+// plus idle power in the gaps.
+func (p *Profile) Energy() []float64 {
+	out := make([]float64, len(p.Busy))
+	for pe, ivs := range p.Busy {
+		var busyTime float64
+		for _, iv := range ivs {
+			out[pe] += (iv.Finish - iv.Start) * iv.Power
+			busyTime += iv.Finish - iv.Start
+		}
+		out[pe] += (p.Horizon - busyTime) * p.IdlePower[pe]
+	}
+	return out
+}
+
+// AveragePower returns each PE's energy divided by the given horizon.
+func (p *Profile) AveragePower(horizon float64) ([]float64, error) {
+	if !(horizon > 0) {
+		return nil, fmt.Errorf("power: horizon must be positive, got %g", horizon)
+	}
+	e := p.Energy()
+	for i := range e {
+		e[i] /= horizon
+	}
+	return e, nil
+}
+
+// Utilization returns each PE's busy fraction of the horizon.
+func (p *Profile) Utilization() []float64 {
+	out := make([]float64, len(p.Busy))
+	if p.Horizon <= 0 {
+		return out
+	}
+	for pe, ivs := range p.Busy {
+		var busy float64
+		for _, iv := range ivs {
+			busy += iv.Finish - iv.Start
+		}
+		out[pe] = busy / p.Horizon
+	}
+	return out
+}
+
+// Sample returns the profile discretized with step dt: sample k covers
+// [k·dt, (k+1)·dt) and holds each PE's average power over that window.
+// The result feeds the transient thermal solver.
+func (p *Profile) Sample(dt float64) ([][]float64, error) {
+	if !(dt > 0) {
+		return nil, fmt.Errorf("power: sample step must be positive, got %g", dt)
+	}
+	steps := int(math.Ceil(p.Horizon / dt))
+	if steps == 0 {
+		steps = 1
+	}
+	out := make([][]float64, steps)
+	for k := 0; k < steps; k++ {
+		t0 := float64(k) * dt
+		t1 := math.Min(t0+dt, p.Horizon)
+		row := make([]float64, len(p.Busy))
+		for pe, ivs := range p.Busy {
+			var busyEnergy, busyTime float64
+			for _, iv := range ivs {
+				lo := math.Max(iv.Start, t0)
+				hi := math.Min(iv.Finish, t1)
+				if hi > lo {
+					busyEnergy += (hi - lo) * iv.Power
+					busyTime += hi - lo
+				}
+			}
+			window := t1 - t0
+			if window <= 0 {
+				window = dt
+			}
+			row[pe] = (busyEnergy + (window-busyTime)*p.IdlePower[pe]) / window
+		}
+		out[k] = row
+	}
+	return out, nil
+}

@@ -1,0 +1,123 @@
+// Package sched implements the paper's primary contribution: the task
+// Allocation and Scheduling Procedure (ASP), a list scheduler driven by
+// static criticality (longest path to the end of the task graph) and a
+// dynamic criticality that folds in either a power heuristic (the
+// power-aware ASP, heuristics 1–3) or the average temperature reported
+// by a HotSpot-style thermal model (the thermal-aware ASP).
+package sched
+
+import (
+	"fmt"
+
+	"thermalsched/internal/techlib"
+)
+
+// PE is one processing-element instance in a target architecture.
+type PE struct {
+	Name string
+	// Type indexes the technology library's PE types.
+	Type int
+}
+
+// Architecture is the set of PE instances the ASP maps tasks onto, plus
+// the shared-bus communication model: transferring d data units between
+// two distinct PEs takes d × BusTimePerUnit time units (transfers within
+// one PE are free). The paper's platform-based experiments use four
+// identical PEs; co-synthesis produces heterogeneous sets.
+type Architecture struct {
+	Name           string
+	PEs            []PE
+	BusTimePerUnit float64
+}
+
+// Validate checks the architecture against a technology library.
+func (a Architecture) Validate(lib *techlib.Library) error {
+	if len(a.PEs) == 0 {
+		return fmt.Errorf("sched: architecture %q has no PEs", a.Name)
+	}
+	if a.BusTimePerUnit < 0 {
+		return fmt.Errorf("sched: architecture %q has negative bus rate", a.Name)
+	}
+	seen := make(map[string]bool, len(a.PEs))
+	for _, pe := range a.PEs {
+		if pe.Name == "" {
+			return fmt.Errorf("sched: architecture %q has a PE with empty name", a.Name)
+		}
+		if seen[pe.Name] {
+			return fmt.Errorf("sched: architecture %q has duplicate PE name %q", a.Name, pe.Name)
+		}
+		seen[pe.Name] = true
+		if pe.Type < 0 || pe.Type >= lib.NumPETypes() {
+			return fmt.Errorf("sched: PE %q has type %d outside library range [0,%d)",
+				pe.Name, pe.Type, lib.NumPETypes())
+		}
+	}
+	return nil
+}
+
+// PENames returns the PE names in architecture order.
+func (a Architecture) PENames() []string {
+	out := make([]string, len(a.PEs))
+	for i, pe := range a.PEs {
+		out[i] = pe.Name
+	}
+	return out
+}
+
+// TotalCost sums the library cost of every PE instance (the co-synthesis
+// objective).
+func (a Architecture) TotalCost(lib *techlib.Library) float64 {
+	var sum float64
+	for _, pe := range a.PEs {
+		sum += lib.PEType(pe.Type).Cost
+	}
+	return sum
+}
+
+// PlatformFromTypes builds an architecture with one PE instance per
+// named library type, called pe0, pe1, …. The paper's platform of "four
+// identical PEs" uses techlib.PlatformPETypeNames: nominally identical
+// cores whose library rows carry per-instance table jitter.
+func PlatformFromTypes(lib *techlib.Library, typeNames []string, busTimePerUnit float64) (Architecture, error) {
+	if len(typeNames) == 0 {
+		return Architecture{}, fmt.Errorf("sched: platform needs at least one PE type name")
+	}
+	arch := Architecture{
+		Name:           fmt.Sprintf("platform-%dpe", len(typeNames)),
+		BusTimePerUnit: busTimePerUnit,
+	}
+	for i, name := range typeNames {
+		ti, ok := lib.PETypeIndex(name)
+		if !ok {
+			return Architecture{}, fmt.Errorf("sched: platform PE type %q not in library", name)
+		}
+		arch.PEs = append(arch.PEs, PE{Name: fmt.Sprintf("pe%d", i), Type: ti})
+	}
+	if err := arch.Validate(lib); err != nil {
+		return Architecture{}, err
+	}
+	return arch, nil
+}
+
+// Platform builds a homogeneous architecture: count identical PEs of the
+// named library type, called pe0, pe1, ….
+func Platform(lib *techlib.Library, peTypeName string, count int, busTimePerUnit float64) (Architecture, error) {
+	if count < 1 {
+		return Architecture{}, fmt.Errorf("sched: platform needs at least one PE, got %d", count)
+	}
+	ti, ok := lib.PETypeIndex(peTypeName)
+	if !ok {
+		return Architecture{}, fmt.Errorf("sched: platform PE type %q not in library", peTypeName)
+	}
+	arch := Architecture{
+		Name:           fmt.Sprintf("platform-%dx-%s", count, peTypeName),
+		BusTimePerUnit: busTimePerUnit,
+	}
+	for i := 0; i < count; i++ {
+		arch.PEs = append(arch.PEs, PE{Name: fmt.Sprintf("pe%d", i), Type: ti})
+	}
+	if err := arch.Validate(lib); err != nil {
+		return Architecture{}, err
+	}
+	return arch, nil
+}

@@ -1,0 +1,98 @@
+package sched
+
+import (
+	"fmt"
+
+	"thermalsched/internal/hotspot"
+)
+
+// ModelOracle adapts a hotspot.Model to the ThermalOracle interface the
+// thermal-aware ASP consumes. The architecture's PE names must each have
+// a same-named block in the model's floorplan (extra blocks are allowed
+// and dissipate nothing).
+type ModelOracle struct {
+	// AllBlocks averages inquiry temperatures over every block instead
+	// of only the PEs currently in use (power > 0). The default (false)
+	// matches the paper's "average temperature of all using PEs"; it is
+	// also what keeps the inquiry sensitive to how power is distributed,
+	// since the all-blocks mean of a compact RC network is almost a pure
+	// function of total power.
+	AllBlocks bool
+
+	model *hotspot.Model
+	// blockPower is the scratch power vector in model block order;
+	// peToBlock maps architecture PE index to model block index.
+	peToBlock []int
+	numBlocks int
+}
+
+// NewModelOracle wires an architecture to a thermal model by block name.
+func NewModelOracle(model *hotspot.Model, arch Architecture) (*ModelOracle, error) {
+	names := model.BlockNames()
+	index := make(map[string]int, len(names))
+	for i, n := range names {
+		index[n] = i
+	}
+	o := &ModelOracle{
+		model:     model,
+		peToBlock: make([]int, len(arch.PEs)),
+		numBlocks: model.NumBlocks(),
+	}
+	for i, pe := range arch.PEs {
+		bi, ok := index[pe.Name]
+		if !ok {
+			return nil, fmt.Errorf("sched: PE %q has no block in the thermal model", pe.Name)
+		}
+		o.peToBlock[i] = bi
+	}
+	return o, nil
+}
+
+// AvgTemp implements ThermalOracle: steady-state block temperatures under
+// the given per-PE power, averaged over the PEs in use (power > 0). The
+// paper observes "the average temperature of all using PEs"; averaging
+// over in-use PEs is also what makes the inquiry sensitive to power
+// *distribution* — on a perfectly symmetric platform the all-blocks mean
+// depends only on total power and could not steer placement. When no PE
+// is in use the average falls back to all blocks (ambient).
+func (o *ModelOracle) AvgTemp(pePower []float64) (float64, error) {
+	if len(pePower) != len(o.peToBlock) {
+		return 0, fmt.Errorf("sched: oracle got %d powers for %d PEs", len(pePower), len(o.peToBlock))
+	}
+	block := make([]float64, o.numBlocks)
+	for i, w := range pePower {
+		block[o.peToBlock[i]] = w
+	}
+	temps, err := o.model.SteadyStateVec(block)
+	if err != nil {
+		return 0, err
+	}
+	if !o.AllBlocks {
+		vals := temps.Values()
+		var sum float64
+		n := 0
+		for i, w := range pePower {
+			if w > 0 {
+				sum += vals[o.peToBlock[i]]
+				n++
+			}
+		}
+		if n > 0 {
+			return sum / float64(n), nil
+		}
+	}
+	return temps.Avg(), nil
+}
+
+// Temps returns the full steady-state temperatures for a per-PE power
+// vector — used when reporting the final schedule's thermal profile.
+func (o *ModelOracle) Temps(pePower []float64) (hotspot.Temps, error) {
+	if len(pePower) != len(o.peToBlock) {
+		return hotspot.Temps{}, fmt.Errorf("sched: oracle got %d powers for %d PEs", len(pePower), len(o.peToBlock))
+	}
+	block := make([]float64, o.numBlocks)
+	for i, w := range pePower {
+		block[o.peToBlock[i]] = w
+	}
+	return o.model.SteadyStateVec(block)
+}

@@ -1,0 +1,133 @@
+package taskgraph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// GenParams parameterizes the TGFF-like random task-graph generator.
+// The paper's benchmarks are identified only by task count, edge count
+// and deadline ("Bm1/19/19/790"), the standard TGFF reporting style, so
+// the generator targets exact task/edge counts under a fixed seed.
+type GenParams struct {
+	Name     string
+	Tasks    int
+	Edges    int     // must be in [Tasks - Sources, Tasks*(Tasks-1)/2]
+	Deadline float64 // time units (the same units the technology library's WCETs use)
+	Types    int     // number of distinct task types (≥1)
+	Sources  int     // number of entry tasks (≥1)
+	MaxData  float64 // communication volumes are uniform in [1, MaxData]
+	// BranchFraction, when positive, makes the generated graph a
+	// conditional task graph (Xie & Wolf style): this fraction of the
+	// tasks with two or more successors become branch nodes whose
+	// outgoing edges carry mutually exclusive probabilities summing
+	// to 1. Zero keeps every edge unconditional.
+	BranchFraction float64
+	Seed           int64
+}
+
+// Validate reports the first inconsistent parameter.
+func (p GenParams) Validate() error {
+	switch {
+	case p.Tasks < 1:
+		return fmt.Errorf("taskgraph: generator needs at least one task, got %d", p.Tasks)
+	case p.Types < 1:
+		return fmt.Errorf("taskgraph: generator needs at least one task type, got %d", p.Types)
+	case p.Sources < 1 || p.Sources > p.Tasks:
+		return fmt.Errorf("taskgraph: sources %d out of [1, %d]", p.Sources, p.Tasks)
+	case !(p.Deadline > 0):
+		return fmt.Errorf("taskgraph: deadline must be positive, got %g", p.Deadline)
+	case p.MaxData < 1:
+		return fmt.Errorf("taskgraph: MaxData must be >= 1, got %g", p.MaxData)
+	case p.BranchFraction < 0 || p.BranchFraction > 1:
+		return fmt.Errorf("taskgraph: BranchFraction %g out of [0, 1]", p.BranchFraction)
+	}
+	minEdges := p.Tasks - p.Sources
+	maxEdges := p.Tasks * (p.Tasks - 1) / 2
+	if p.Edges < minEdges || p.Edges > maxEdges {
+		return fmt.Errorf("taskgraph: edges %d out of [%d, %d] for %d tasks with %d sources",
+			p.Edges, minEdges, maxEdges, p.Tasks, p.Sources)
+	}
+	return nil
+}
+
+// Generate builds a random DAG with exactly p.Tasks tasks and p.Edges
+// edges. Construction is layered, TGFF-style: tasks are created in ID
+// order and every task beyond the first p.Sources draws one parent among
+// the earlier tasks (guaranteeing a connected precedence structure and
+// acyclicity by construction), then extra forward edges are added until
+// the edge budget is spent. The same params always generate the same
+// graph.
+func Generate(p GenParams) (*Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := NewGraph(p.Name, p.Deadline)
+	for i := 0; i < p.Tasks; i++ {
+		t := Task{ID: i, Name: fmt.Sprintf("t%d", i), Type: rng.Intn(p.Types)}
+		if err := g.AddTask(t); err != nil {
+			return nil, err
+		}
+	}
+	data := func() float64 { return 1 + rng.Float64()*(p.MaxData-1) }
+
+	// Spanning structure: each non-source task gets one parent among
+	// earlier tasks, biased towards recent tasks so the graph has depth
+	// rather than a star shape.
+	for i := p.Sources; i < p.Tasks; i++ {
+		lo := 0
+		if i > 8 {
+			lo = i - 8 - rng.Intn(i-8+1) // window into the recent past, occasionally deeper
+		}
+		parent := lo + rng.Intn(i-lo)
+		if err := g.AddEdge(Edge{From: parent, To: i, Data: data()}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Extra forward edges (from lower ID to higher ID keeps it acyclic).
+	need := p.Edges - g.NumEdges()
+	for attempts := 0; need > 0; attempts++ {
+		if attempts > 1000*p.Edges {
+			return nil, fmt.Errorf("taskgraph: could not place %d extra edges (graph too dense)", need)
+		}
+		from := rng.Intn(p.Tasks - 1)
+		to := from + 1 + rng.Intn(p.Tasks-from-1)
+		if err := g.AddEdge(Edge{From: from, To: to, Data: data()}); err != nil {
+			continue // duplicate; retry
+		}
+		need--
+	}
+
+	if p.BranchFraction > 0 {
+		markBranches(g, p.BranchFraction, rng)
+	}
+	return g, nil
+}
+
+// markBranches converts a fraction of the multi-successor tasks into
+// conditional branch nodes: their outgoing edges get probabilities drawn
+// from a Dirichlet-like split summing to 1.
+func markBranches(g *Graph, fraction float64, rng *rand.Rand) {
+	for id := 0; id < g.NumTasks(); id++ {
+		succ := g.Successors(id)
+		if len(succ) < 2 || rng.Float64() >= fraction {
+			continue
+		}
+		// Random split of 1 over the successors (each branch ≥ 5%).
+		weights := make([]float64, len(succ))
+		var sum float64
+		for i := range weights {
+			weights[i] = 0.05 + rng.Float64()
+			sum += weights[i]
+		}
+		for i, e := range succ {
+			prob := weights[i] / sum
+			// Round to avoid sums drifting past 1 under float noise.
+			prob = math.Floor(prob*1e6) / 1e6
+			g.setEdgeProb(e.From, e.To, prob)
+		}
+	}
+}

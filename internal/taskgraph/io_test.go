@@ -1,0 +1,89 @@
+package taskgraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGraphWriteReadRoundTrip(t *testing.T) {
+	g, err := Benchmark("Bm1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != g.Name || got.Deadline != g.Deadline {
+		t.Errorf("header changed: %s/%g", got.Name, got.Deadline)
+	}
+	if got.NumTasks() != g.NumTasks() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("size changed: %d/%d", got.NumTasks(), got.NumEdges())
+	}
+	for i := range g.Tasks() {
+		if g.Task(i) != got.Task(i) {
+			t.Errorf("task %d changed", i)
+		}
+	}
+	ge, he := g.Edges(), got.Edges()
+	for i := range ge {
+		if ge[i] != he[i] {
+			t.Errorf("edge %d changed: %v vs %v", i, ge[i], he[i])
+		}
+	}
+}
+
+func TestReadGraphErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"unknown directive", "flurb 1\n"},
+		{"graph arity", "graph a b\n"},
+		{"deadline arity", "deadline\n"},
+		{"bad deadline", "deadline xyz\n"},
+		{"task arity", "task 0 t0\n"},
+		{"bad task id", "task x t0 0\n"},
+		{"edge arity", "edge 0 1\n"},
+		{"bad edge num", "graph g\ndeadline 5\ntask 0 a 0\ntask 1 b 0\nedge 0 x 1\n"},
+		{"edge missing task", "graph g\ndeadline 5\ntask 0 a 0\nedge 0 3 1\n"},
+		{"no deadline", "graph g\ntask 0 a 0\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadGraph(strings.NewReader(tc.in)); err == nil {
+				t.Errorf("ReadGraph(%q) succeeded", tc.in)
+			}
+		})
+	}
+}
+
+func TestReadGraphHeaderAfterTasks(t *testing.T) {
+	// Directives may appear in any order; late graph/deadline lines update
+	// the already-created graph.
+	in := "task 0 a 0\ngraph late\ndeadline 9\n"
+	g, err := ReadGraph(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "late" || g.Deadline != 9 {
+		t.Errorf("got %s/%g", g.Name, g.Deadline)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := diamond(t)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph", "0 -> 1", "2 -> 3", "type 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}

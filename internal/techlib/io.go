@@ -1,0 +1,139 @@
+package techlib
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Write serializes the library in the repository's .lib text format:
+//
+//	tasktypes <n>
+//	petype <name> <cost> <area> <idlepower>
+//	entry <peName> <taskType> <wcet> <wcpc>
+//
+// Only runnable entries are emitted; absence means not runnable.
+func (l *Library) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# technology library: %d PE types x %d task types\n",
+		len(l.peTypes), l.numTTypes)
+	fmt.Fprintf(bw, "tasktypes %d\n", l.numTTypes)
+	for _, pe := range l.peTypes {
+		fmt.Fprintf(bw, "petype %s %g %g %g\n", pe.Name, pe.Cost, pe.Area, pe.IdlePower)
+	}
+	for pi, pe := range l.peTypes {
+		for t := 0; t < l.numTTypes; t++ {
+			if e, ok := l.Lookup(pi, t); ok {
+				fmt.Fprintf(bw, "entry %s %d %.9g %.9g\n", pe.Name, t, e.WCET, e.WCPC)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadLibrary parses a .lib stream (see Write).
+func ReadLibrary(r io.Reader) (*Library, error) {
+	sc := bufio.NewScanner(r)
+	var lib *Library
+	lineNo := 0
+	// Entries are buffered until all petype lines are seen, then applied;
+	// the format allows them interleaved, so stage everything.
+	type staged struct {
+		pe      PEType
+		entries []Entry
+		run     []bool
+	}
+	var stages []staged
+	stageIndex := map[string]int{}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		bad := func(msg string) error {
+			return fmt.Errorf("techlib: line %d: %s: %q", lineNo, msg, line)
+		}
+		switch fields[0] {
+		case "tasktypes":
+			if len(fields) != 2 {
+				return nil, bad("tasktypes wants 1 argument")
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, bad("bad tasktypes count")
+			}
+			lib, err = NewLibrary(n)
+			if err != nil {
+				return nil, fmt.Errorf("techlib: line %d: %w", lineNo, err)
+			}
+		case "petype":
+			if lib == nil {
+				return nil, bad("petype before tasktypes")
+			}
+			if len(fields) != 5 {
+				return nil, bad("petype wants 4 arguments")
+			}
+			vals := make([]float64, 3)
+			for i, s := range fields[2:] {
+				v, err := strconv.ParseFloat(s, 64)
+				if err != nil {
+					return nil, bad("bad petype number")
+				}
+				vals[i] = v
+			}
+			name := fields[1]
+			if _, dup := stageIndex[name]; dup {
+				return nil, bad("duplicate petype")
+			}
+			stageIndex[name] = len(stages)
+			stages = append(stages, staged{
+				pe:      PEType{Name: name, Cost: vals[0], Area: vals[1], IdlePower: vals[2]},
+				entries: make([]Entry, lib.NumTaskTypes()),
+				run:     make([]bool, lib.NumTaskTypes()),
+			})
+		case "entry":
+			if lib == nil {
+				return nil, bad("entry before tasktypes")
+			}
+			if len(fields) != 5 {
+				return nil, bad("entry wants 4 arguments")
+			}
+			si, ok := stageIndex[fields[1]]
+			if !ok {
+				return nil, bad("entry for unknown petype")
+			}
+			tt, err := strconv.Atoi(fields[2])
+			if err != nil || tt < 0 || tt >= lib.NumTaskTypes() {
+				return nil, bad("bad entry task type")
+			}
+			wcet, err1 := strconv.ParseFloat(fields[3], 64)
+			wcpc, err2 := strconv.ParseFloat(fields[4], 64)
+			if err1 != nil || err2 != nil {
+				return nil, bad("bad entry numbers")
+			}
+			stages[si].entries[tt] = Entry{WCET: wcet, WCPC: wcpc}
+			stages[si].run[tt] = true
+		default:
+			return nil, bad("unknown directive")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("techlib: read: %w", err)
+	}
+	if lib == nil {
+		return nil, fmt.Errorf("techlib: missing tasktypes header")
+	}
+	for _, st := range stages {
+		if err := lib.AddPEType(st.pe, st.entries, st.run); err != nil {
+			return nil, err
+		}
+	}
+	if err := lib.Validate(); err != nil {
+		return nil, err
+	}
+	return lib, nil
+}

@@ -1,0 +1,251 @@
+// Package thermalsched reproduces "Thermal-Aware Task Allocation and
+// Scheduling for Embedded Systems" (Hung, Xie, Vijaykrishnan, Kandemir,
+// Irwin — DATE 2005): a list-scheduling Allocation and Scheduling
+// Procedure (ASP) whose dynamic criticality folds in either power
+// heuristics or the average temperature reported by a HotSpot-style
+// compact thermal model, embedded in both a platform-based design flow
+// and a hardware/software co-synthesis flow with a thermal-aware
+// genetic-algorithm floorplanner.
+//
+// This package is the public facade over the implementation packages:
+//
+//	internal/taskgraph   task graphs, TGFF-like generator, paper benchmarks
+//	internal/techlib     technology library (WCET/WCPC tables, PE types)
+//	internal/sched       the ASP: policies Baseline, H1–H3, ThermalAware
+//	internal/floorplan   slicing-tree GA/SA floorplanner, platform layouts
+//	internal/hotspot     compact thermal RC model (steady state, transient)
+//	internal/power       power profiles, traces, leakage feedback
+//	internal/cosynth     the two flows of the paper's Figure 1
+//	internal/experiments reproduction of Tables 1–3
+//
+// Quick start:
+//
+//	lib, _ := thermalsched.StandardLibrary()
+//	g, _ := thermalsched.Benchmark("Bm1")
+//	res, _ := thermalsched.RunPlatform(g, lib, thermalsched.ThermalAware)
+//	fmt.Printf("peak %.1f °C\n", res.Metrics.MaxTemp)
+package thermalsched
+
+import (
+	"thermalsched/internal/cosynth"
+	"thermalsched/internal/dtm"
+	"thermalsched/internal/experiments"
+	"thermalsched/internal/floorplan"
+	"thermalsched/internal/hotspot"
+	"thermalsched/internal/power"
+	"thermalsched/internal/sched"
+	"thermalsched/internal/sim"
+	"thermalsched/internal/taskgraph"
+	"thermalsched/internal/techlib"
+)
+
+// Task graph types and constructors.
+type (
+	// Graph is a task graph with a completion deadline.
+	Graph = taskgraph.Graph
+	// Task is one node of a task graph.
+	Task = taskgraph.Task
+	// GraphEdge is a data dependency between two tasks.
+	GraphEdge = taskgraph.Edge
+	// GenParams parameterizes the TGFF-like task-graph generator.
+	GenParams = taskgraph.GenParams
+)
+
+// NewGraph returns an empty task graph.
+func NewGraph(name string, deadline float64) *Graph { return taskgraph.NewGraph(name, deadline) }
+
+// GenerateGraph builds a random task graph with exact task/edge counts.
+func GenerateGraph(p GenParams) (*Graph, error) { return taskgraph.Generate(p) }
+
+// Benchmark returns one of the paper's benchmarks ("Bm1" … "Bm4").
+func Benchmark(name string) (*Graph, error) { return taskgraph.Benchmark(name) }
+
+// Benchmarks returns all four paper benchmarks.
+func Benchmarks() ([]*Graph, error) { return taskgraph.Benchmarks() }
+
+// Technology library types and constructors.
+type (
+	// Library stores WCET/WCPC per (task type, PE type) plus PE costs
+	// and areas.
+	Library = techlib.Library
+	// PEType describes a processing-element type.
+	PEType = techlib.PEType
+	// LibraryEntry is a WCET/WCPC pair.
+	LibraryEntry = techlib.Entry
+)
+
+// StandardLibrary returns the deterministic technology library the
+// reproduction's experiments share.
+func StandardLibrary() (*Library, error) { return techlib.StandardLibrary() }
+
+// Scheduler types.
+type (
+	// Architecture is a set of PE instances plus the bus model.
+	Architecture = sched.Architecture
+	// PE is one processing element instance.
+	PE = sched.PE
+	// Schedule is a complete task mapping and timing.
+	Schedule = sched.Schedule
+	// Policy selects the ASP variant.
+	Policy = sched.Policy
+	// SchedConfig tunes the ASP.
+	SchedConfig = sched.Config
+)
+
+// ASP policy constants (paper §2).
+const (
+	Baseline      = sched.Baseline
+	MinTaskPower  = sched.MinTaskPower  // heuristic 1
+	MinPEPower    = sched.MinPEPower    // heuristic 2
+	MinTaskEnergy = sched.MinTaskEnergy // heuristic 3
+	ThermalAware  = sched.ThermalAware
+)
+
+// ParsePolicy converts a policy name ("baseline", "h1" … "thermal").
+func ParsePolicy(s string) (Policy, error) { return sched.ParsePolicy(s) }
+
+// Policies lists all ASP variants in paper order.
+func Policies() []Policy { return sched.Policies() }
+
+// AllocateAndSchedule runs the ASP directly on an explicit architecture.
+// Most callers want RunPlatform or RunCoSynthesis instead.
+func AllocateAndSchedule(g *Graph, arch Architecture, lib *Library, cfg SchedConfig) (*Schedule, error) {
+	return sched.AllocateAndSchedule(g, arch, lib, cfg)
+}
+
+// Thermal model types.
+type (
+	// ThermalConfig holds the physical parameters of the thermal model.
+	ThermalConfig = hotspot.Config
+	// ThermalModel is a compact thermal RC network built from a floorplan.
+	ThermalModel = hotspot.Model
+	// Temps holds per-block temperatures.
+	Temps = hotspot.Temps
+	// Floorplan is a set of placed, named blocks.
+	Floorplan = floorplan.Floorplan
+	// FloorplanBlock is an unplaced block for the floorplanner.
+	FloorplanBlock = floorplan.Block
+)
+
+// DefaultThermalConfig returns the reproduction's thermal calibration.
+func DefaultThermalConfig() ThermalConfig { return hotspot.DefaultConfig() }
+
+// NewThermalModel builds the thermal network for a floorplan.
+func NewThermalModel(fp *Floorplan, cfg ThermalConfig) (*ThermalModel, error) {
+	return hotspot.NewModel(fp, cfg)
+}
+
+// FloorplanGA runs the thermal-aware genetic-algorithm floorplanner.
+func FloorplanGA(blocks []FloorplanBlock, cfg floorplan.GAConfig) (*floorplan.Result, error) {
+	return floorplan.RunGA(blocks, cfg)
+}
+
+// DefaultGAConfig returns the floorplanner's default GA parameters.
+func DefaultGAConfig() floorplan.GAConfig { return floorplan.DefaultGAConfig() }
+
+// Flow types (paper Figure 1).
+type (
+	// FlowResult is the outcome of a platform or co-synthesis run.
+	FlowResult = cosynth.Result
+	// FlowMetrics are the three columns of the paper's tables.
+	FlowMetrics = cosynth.Metrics
+	// PlatformConfig parameterizes the platform-based flow (Fig. 1b).
+	PlatformConfig = cosynth.PlatformConfig
+	// CoSynthConfig parameterizes the co-synthesis flow (Fig. 1a).
+	CoSynthConfig = cosynth.CoSynthConfig
+)
+
+// RunPlatform schedules g on the paper's fixed platform of four
+// identical PEs under the given policy (Fig. 1b).
+func RunPlatform(g *Graph, lib *Library, policy Policy) (*FlowResult, error) {
+	return cosynth.RunPlatform(g, lib, cosynth.PlatformConfig{Policy: policy})
+}
+
+// RunPlatformConfig is RunPlatform with full configuration control.
+func RunPlatformConfig(g *Graph, lib *Library, cfg PlatformConfig) (*FlowResult, error) {
+	return cosynth.RunPlatform(g, lib, cfg)
+}
+
+// RunCoSynthesis runs the co-synthesis flow (Fig. 1a): deadline-driven
+// PE selection with floorplanning and thermal extraction in the loop.
+func RunCoSynthesis(g *Graph, lib *Library, policy Policy) (*FlowResult, error) {
+	return cosynth.RunCoSynthesis(g, lib, cosynth.CoSynthConfig{Policy: policy})
+}
+
+// RunCoSynthesisConfig is RunCoSynthesis with full configuration control.
+func RunCoSynthesisConfig(g *Graph, lib *Library, cfg CoSynthConfig) (*FlowResult, error) {
+	return cosynth.RunCoSynthesis(g, lib, cfg)
+}
+
+// Power-domain types.
+type (
+	// PowerProfile is the per-PE power timeline of a schedule.
+	PowerProfile = power.Profile
+	// LeakageModel captures temperature-dependent leakage.
+	LeakageModel = power.LeakageModel
+)
+
+// PowerProfileOf extracts the power profile of a schedule.
+func PowerProfileOf(s *Schedule) (*PowerProfile, error) { return power.FromSchedule(s) }
+
+// DefaultLeakage returns the calibrated leakage model.
+func DefaultLeakage() LeakageModel { return power.DefaultLeakage() }
+
+// Run-time extensions: discrete-event execution and dynamic thermal
+// management (the paper's reference [2]).
+type (
+	// SimOptions controls the discrete-event schedule executor.
+	SimOptions = sim.Options
+	// SimResult is a realized execution of a schedule.
+	SimResult = sim.Result
+	// DTMController throttles PE power based on observed temperatures.
+	DTMController = dtm.Controller
+	// DTMResult summarizes a DTM transient run.
+	DTMResult = dtm.RunResult
+)
+
+// ExecuteSchedule replays a schedule with actual (≤ WCET) execution
+// times and reports the realized timing, energy and power trace.
+func ExecuteSchedule(s *Schedule, opt SimOptions) (*SimResult, error) {
+	return sim.Execute(s, opt)
+}
+
+// NewToggleDTM returns a threshold/hysteresis throttling controller.
+func NewToggleDTM(triggerC, hysteresis, throttle float64) (DTMController, error) {
+	return dtm.NewToggleController(triggerC, hysteresis, throttle)
+}
+
+// NewPIDTM returns a proportional–integral thermal controller
+// (reference [2]'s control-theoretic DTM).
+func NewPIDTM(setpointC, kp, ki, minScale float64) (DTMController, error) {
+	return dtm.NewPIController(setpointC, kp, ki, minScale)
+}
+
+// RunDTM drives a transient simulation of per-block power samples under
+// a DTM controller.
+func RunDTM(model *ThermalModel, ctrl DTMController, samples [][]float64, dt float64) (*DTMResult, error) {
+	return dtm.Run(model, ctrl, samples, dt)
+}
+
+// Experiment suite (Tables 1–3).
+type (
+	// Suite bundles the benchmarks and library for table regeneration.
+	Suite = experiments.Suite
+	// Table1 is the power-heuristic comparison.
+	Table1 = experiments.Table1
+	// VersusTable is the power-aware vs thermal-aware comparison
+	// (Tables 2 and 3).
+	VersusTable = experiments.VersusTable
+)
+
+// NewSuite builds the standard experiment suite.
+func NewSuite() (*Suite, error) { return experiments.NewSuite() }
+
+// SweepResult aggregates the randomized robustness study.
+type SweepResult = experiments.SweepResult
+
+// RunSweep compares the power-aware and thermal-aware ASPs over count
+// random task graphs on the platform flow.
+func RunSweep(lib *Library, count int, seed int64) (*SweepResult, error) {
+	return experiments.RunSweep(lib, count, seed)
+}
