@@ -1,90 +1,96 @@
-// Command thermsched runs one ASP policy on a task graph mapped onto the
-// paper's 4-PE platform and reports the schedule, power and steady-state
-// temperatures (the Fig. 1b flow).
+// Command thermsched runs one Engine flow on a task graph and reports
+// the schedule, power and steady-state temperatures. The default flow
+// maps the graph onto the paper's 4-PE platform (Fig. 1b); -flow
+// selects co-synthesis, the randomized sweep, or the DTM study.
 //
 // Usage:
 //
 //	thermsched -benchmark Bm1 -policy thermal
 //	thermsched -graph my.tg -policy h3 -gantt
+//	thermsched -flow cosynthesis -benchmark Bm2 -json
+//
+// With -json the output is the same serializable Response schema that
+// cmd/thermschedd serves over HTTP.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
-	"thermalsched/internal/cosynth"
-	"thermalsched/internal/sched"
+	"thermalsched"
 	"thermalsched/internal/taskgraph"
-	"thermalsched/internal/techlib"
 )
 
 func main() {
 	var (
+		flow      = flag.String("flow", "platform", "flow: platform, cosynthesis, sweep, dtm")
 		benchmark = flag.String("benchmark", "", "paper benchmark (Bm1..Bm4)")
 		graphFile = flag.String("graph", "", "task graph file (.tg)")
 		policyStr = flag.String("policy", "thermal", "ASP policy: baseline, h1, h2, h3, thermal")
 		gantt     = flag.Bool("gantt", false, "print the per-PE timeline")
 		tempW     = flag.Float64("tempweight", 0, "override the thermal DC weight (0 = default)")
+		seed      = flag.Int64("seed", -1, "run seed (cosynthesis/sweep; negative = default)")
+		count     = flag.Int("count", 0, "sweep graph count (0 = default)")
+		asJSON    = flag.Bool("json", false, "emit the serializable Response schema as JSON")
 	)
 	flag.Parse()
 
-	g, err := loadGraph(*benchmark, *graphFile)
-	if err != nil {
-		fatal(err)
-	}
-	policy, err := sched.ParsePolicy(*policyStr)
-	if err != nil {
-		fatal(err)
-	}
-	lib, err := techlib.StandardLibrary()
-	if err != nil {
-		fatal(err)
-	}
-	cfg := cosynth.PlatformConfig{Policy: policy}
-	if *tempW > 0 {
-		sc := sched.DefaultConfig(policy)
-		sc.TempWeight = *tempW
-		cfg.Sched = &sc
-	}
-	res, err := cosynth.RunPlatform(g, lib, cfg)
-	if err != nil {
-		fatal(err)
-	}
-
-	m := res.Metrics
-	fmt.Printf("graph      %s (%d tasks, %d edges, deadline %g)\n",
-		g.Name, g.NumTasks(), g.NumEdges(), g.Deadline)
-	fmt.Printf("policy     %s\n", policy)
-	fmt.Printf("makespan   %.1f (%s)\n", m.Makespan, feasStr(m.Feasible))
-	fmt.Printf("total pow  %.2f W\n", m.TotalPower)
-	fmt.Printf("max temp   %.2f °C\n", m.MaxTemp)
-	fmt.Printf("avg temp   %.2f °C\n", m.AvgTemp)
-
-	pow, err := res.Schedule.PEAveragePower(g.Deadline)
-	if err != nil {
-		fatal(err)
-	}
-	temps, err := res.Oracle.Temps(pow)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Println("per-PE:")
-	for i, name := range res.Arch.PENames() {
-		t, _ := temps.Of(name)
-		fmt.Printf("  %-6s %6.2f W  %7.2f °C\n", name, pow[i], t)
-	}
+	req := thermalsched.NewRequest(thermalsched.FlowKind(*flow))
+	req.Policy = *policyStr
 	if *gantt {
-		fmt.Print(res.Schedule.Gantt())
+		req.IncludeGantt = true
 	}
+	if *tempW > 0 {
+		req.TempWeight = tempW
+	}
+	if *seed >= 0 {
+		req.Seed = seed
+	}
+	if *count > 0 {
+		req.SweepCount = *count
+	}
+	if req.Flow != thermalsched.FlowSweep {
+		g, err := loadGraph(*benchmark, *graphFile)
+		if err != nil {
+			fatal(err)
+		}
+		if g != nil {
+			req.Graph = thermalsched.GraphSpecOf(g)
+		} else {
+			req.Benchmark = *benchmark
+		}
+	}
+
+	engine, err := thermalsched.NewEngine()
+	if err != nil {
+		fatal(err)
+	}
+	resp, err := engine.Run(context.Background(), req)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.SetEscapeHTML(false)
+		if err := enc.Encode(resp); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	printHuman(resp)
 }
 
-func loadGraph(benchmark, file string) (*taskgraph.Graph, error) {
+// loadGraph returns a parsed graph for -graph, nil for -benchmark (the
+// engine resolves benchmark names itself), or an error.
+func loadGraph(benchmark, file string) (*thermalsched.Graph, error) {
 	switch {
 	case benchmark != "" && file != "":
 		return nil, fmt.Errorf("use either -benchmark or -graph, not both")
-	case benchmark != "":
-		return taskgraph.Benchmark(benchmark)
 	case file != "":
 		f, err := os.Open(file)
 		if err != nil {
@@ -92,8 +98,51 @@ func loadGraph(benchmark, file string) (*taskgraph.Graph, error) {
 		}
 		defer f.Close()
 		return taskgraph.ReadGraph(f)
+	case benchmark != "":
+		return nil, nil
 	default:
 		return nil, fmt.Errorf("need -benchmark or -graph")
+	}
+}
+
+func printHuman(resp *thermalsched.Response) {
+	fmt.Printf("flow       %s\n", resp.Flow)
+	if resp.Graph != "" {
+		fmt.Printf("graph      %s\n", resp.Graph)
+	}
+	if resp.Policy != "" {
+		fmt.Printf("policy     %s\n", resp.Policy)
+	}
+	if m := resp.Metrics; m != nil {
+		fmt.Printf("makespan   %.1f (%s)\n", m.Makespan, feasStr(m.Feasible))
+		fmt.Printf("total pow  %.2f W\n", m.TotalPower)
+		fmt.Printf("max temp   %.2f °C\n", m.MaxTemp)
+		fmt.Printf("avg temp   %.2f °C\n", m.AvgTemp)
+		if resp.Flow == thermalsched.FlowCoSynthesis {
+			fmt.Printf("cost       %.0f\n", m.Cost)
+		}
+	}
+	if len(resp.Architecture) > 0 {
+		fmt.Println("architecture:")
+		for _, pe := range resp.Architecture {
+			fmt.Printf("  %-6s %-10s %5.1f mm²\n", pe.Name, pe.Type, pe.AreaMM2)
+		}
+	}
+	if len(resp.PerPE) > 0 {
+		fmt.Println("per-PE:")
+		for _, pe := range resp.PerPE {
+			fmt.Printf("  %-6s %6.2f W  %7.2f °C\n", pe.Name, pe.PowerW, pe.TempC)
+		}
+	}
+	if resp.Sweep != nil {
+		fmt.Print(resp.Sweep)
+	}
+	if d := resp.DTM; d != nil {
+		fmt.Printf("dtm        %s: peak %.2f °C, throttled %.1f%%, slowdown %.1f%% over %d steps\n",
+			d.Controller, d.PeakTempC, 100*d.ThrottledFraction, 100*d.Slowdown, d.Steps)
+	}
+	if resp.Gantt != "" {
+		fmt.Print(resp.Gantt)
 	}
 }
 

@@ -1,0 +1,92 @@
+// Command thermschedd serves thermal-aware scheduling over HTTP/JSON:
+// a thermalsched Engine behind the internal/service router.
+//
+// Usage:
+//
+//	thermschedd -addr :8080 -workers 8 -inflight 4
+//
+// Endpoints:
+//
+//	POST /v1/run    {"flow":"platform","benchmark":"Bm1","policy":"thermal"}
+//	POST /v1/batch  [{"flow":"platform","benchmark":"Bm1"}, ...]
+//	GET  /healthz
+//
+// Example:
+//
+//	curl -s localhost:8080/v1/run -d '{"flow":"platform","benchmark":"Bm1","policy":"thermal"}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"thermalsched"
+	"thermalsched/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "batch worker pool size (0 = GOMAXPROCS)")
+		inflight = flag.Int("inflight", service.DefaultMaxInFlight, "max requests executing at once")
+		maxBatch = flag.Int("maxbatch", service.DefaultMaxBatch, "max requests per batch call")
+		cache    = flag.Int("cache", thermalsched.DefaultModelCacheSize, "thermal-model cache entries (0 disables)")
+	)
+	flag.Parse()
+
+	var opts []thermalsched.Option
+	if *workers > 0 {
+		opts = append(opts, thermalsched.WithWorkers(*workers))
+	}
+	opts = append(opts, thermalsched.WithModelCacheSize(*cache))
+	engine, err := thermalsched.NewEngine(opts...)
+	if err != nil {
+		fatal(err)
+	}
+	svc, err := service.New(engine, service.Config{MaxInFlight: *inflight, MaxBatch: *maxBatch})
+	if err != nil {
+		fatal(err)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("thermschedd: serving on %s", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		log.Printf("thermschedd: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "thermschedd:", err)
+	os.Exit(1)
+}

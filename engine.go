@@ -1,0 +1,516 @@
+package thermalsched
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"thermalsched/internal/cosynth"
+	"thermalsched/internal/dtm"
+	"thermalsched/internal/experiments"
+	"thermalsched/internal/floorplan"
+	"thermalsched/internal/hotspot"
+	"thermalsched/internal/sim"
+	"thermalsched/internal/taskgraph"
+	"thermalsched/internal/techlib"
+)
+
+// Engine is the primary entry point of the package: construct one with
+// NewEngine, keep it for the life of the process, and feed it Requests.
+// It owns the technology library, the parsed paper benchmarks, and a
+// bounded cache of thermal-model factorizations keyed by floorplan and
+// configuration, so repeated runs skip the setup the legacy free
+// functions redid on every call. An Engine is safe for concurrent use.
+type Engine struct {
+	lib     *Library
+	thermal ThermalConfig
+	workers int
+	models  *modelCache
+	benches map[string]*Graph
+	ordered []string // benchmark names in paper order
+}
+
+// Option configures an Engine under construction; see NewEngine.
+type Option func(*engineOptions)
+
+type engineOptions struct {
+	lib       *Library
+	thermal   ThermalConfig
+	workers   int
+	cacheSize int
+}
+
+// DefaultModelCacheSize bounds the Engine's thermal-model cache. A
+// platform flow needs one entry; a co-synthesis run touches a few
+// hundred candidate floorplans, most visited repeatedly by the GA.
+const DefaultModelCacheSize = 512
+
+// WithLibrary substitutes a custom technology library for the standard
+// one.
+func WithLibrary(lib *Library) Option {
+	return func(o *engineOptions) { o.lib = lib }
+}
+
+// WithThermalConfig substitutes the thermal-model calibration used for
+// every flow the Engine runs.
+func WithThermalConfig(cfg ThermalConfig) Option {
+	return func(o *engineOptions) { o.thermal = cfg }
+}
+
+// WithWorkers bounds RunBatch's worker pool (default: GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(o *engineOptions) { o.workers = n }
+}
+
+// WithModelCacheSize bounds the thermal-model factorization cache; zero
+// disables caching entirely.
+func WithModelCacheSize(n int) Option {
+	return func(o *engineOptions) { o.cacheSize = n }
+}
+
+// NewEngine builds an Engine: it loads (or accepts) the technology
+// library, parses the paper benchmarks once, and prepares the thermal
+// model cache.
+func NewEngine(opts ...Option) (*Engine, error) {
+	o := engineOptions{
+		thermal:   hotspot.DefaultConfig(),
+		workers:   runtime.GOMAXPROCS(0),
+		cacheSize: DefaultModelCacheSize,
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.workers < 1 {
+		return nil, fmt.Errorf("thermalsched: engine needs at least 1 worker, got %d", o.workers)
+	}
+	if o.cacheSize < 0 {
+		return nil, fmt.Errorf("thermalsched: negative model cache size %d", o.cacheSize)
+	}
+	if err := o.thermal.Validate(); err != nil {
+		return nil, err
+	}
+	lib := o.lib
+	if lib == nil {
+		std, err := techlib.StandardLibrary()
+		if err != nil {
+			return nil, err
+		}
+		lib = std
+	} else if err := lib.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		lib:     lib,
+		thermal: o.thermal,
+		workers: o.workers,
+		models:  newModelCache(o.cacheSize),
+		benches: make(map[string]*Graph),
+	}
+	for _, name := range taskgraph.BenchmarkNames() {
+		g, err := taskgraph.Benchmark(name)
+		if err != nil {
+			return nil, err
+		}
+		e.benches[name] = g
+		e.ordered = append(e.ordered, name)
+	}
+	return e, nil
+}
+
+// Library returns the engine's technology library.
+func (e *Engine) Library() *Library { return e.lib }
+
+// Benchmark returns a copy of the engine's pre-parsed paper benchmark.
+// The copy is the caller's to mutate; the engine's cached graph stays
+// pristine for subsequent runs.
+func (e *Engine) Benchmark(name string) (*Graph, error) {
+	g, err := e.benchmark(name)
+	if err != nil {
+		return nil, err
+	}
+	return g.Clone(), nil
+}
+
+// benchmark returns the shared parsed graph. Internal callers only
+// read it (scheduling never mutates the input graph).
+func (e *Engine) benchmark(name string) (*Graph, error) {
+	if g, ok := e.benches[name]; ok {
+		return g, nil
+	}
+	return nil, fmt.Errorf("thermalsched: unknown benchmark %q (want one of %s)",
+		name, strings.Join(e.ordered, ", "))
+}
+
+// resolveGraph materializes the request's input graph.
+func (e *Engine) resolveGraph(req *Request) (*Graph, error) {
+	if req.Graph != nil {
+		return req.Graph.Graph()
+	}
+	return e.benchmark(req.Benchmark)
+}
+
+// Run validates and executes one request. Cancellation is threaded into
+// every flow's hot loop — the ASP's greedy step, the GA floorplanner's
+// packing evaluations and co-synthesis's candidate evaluations — so a
+// cancelled context aborts promptly with an error wrapping ctx.Err().
+func (e *Engine) Run(ctx context.Context, req Request) (*Response, error) {
+	start := time.Now()
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var (
+		resp *Response
+		err  error
+	)
+	switch req.Flow {
+	case FlowPlatform:
+		resp, err = e.runPlatformFlow(ctx, &req)
+	case FlowCoSynthesis:
+		resp, err = e.runCoSynthFlow(ctx, &req)
+	case FlowSweep:
+		resp, err = e.runSweepFlow(ctx, &req)
+	case FlowDTM:
+		resp, err = e.runDTMFlow(ctx, &req)
+	default: // unreachable after Validate
+		err = fmt.Errorf("thermalsched: unknown flow %q", req.Flow)
+	}
+	if err != nil {
+		return nil, err
+	}
+	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	return resp, nil
+}
+
+// RunBatch fans requests out across a bounded worker pool (WithWorkers)
+// and returns one response per request, in order. Individual failures
+// are reported in Response.Error rather than failing the batch; the
+// returned error is non-nil only when ctx is cancelled, in which case
+// unfinished entries carry the cancellation error.
+func (e *Engine) RunBatch(ctx context.Context, reqs []Request) ([]*Response, error) {
+	out := make([]*Response, len(reqs))
+	if len(reqs) == 0 {
+		return out, nil
+	}
+	workers := e.workers
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				resp, err := e.Run(ctx, reqs[i])
+				if err != nil {
+					resp = &Response{Flow: reqs[i].Flow, Error: err.Error()}
+				}
+				out[i] = resp
+			}
+		}()
+	}
+feed:
+	for i := range reqs {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		for i, r := range out {
+			if r == nil {
+				out[i] = &Response{Flow: reqs[i].Flow, Error: err.Error()}
+			}
+		}
+		return out, err
+	}
+	return out, nil
+}
+
+// Platform runs the platform-based flow (Fig. 1b) on a task graph and
+// returns the full result — schedule, floorplan, thermal model and
+// metrics. It is the typed counterpart of Run with FlowPlatform for
+// callers who need more than the serializable Response.
+func (e *Engine) Platform(ctx context.Context, g *Graph, opts ...RequestOption) (*FlowResult, error) {
+	req := NewRequest(FlowPlatform, opts...)
+	cfg, err := req.platformConfig()
+	if err != nil {
+		return nil, err
+	}
+	cfg.HotSpot = &e.thermal
+	return e.platform(ctx, g, e.lib, cfg)
+}
+
+// CoSynthesize runs the co-synthesis flow (Fig. 1a) on a task graph and
+// returns the full result. It is the typed counterpart of Run with
+// FlowCoSynthesis.
+func (e *Engine) CoSynthesize(ctx context.Context, g *Graph, opts ...RequestOption) (*FlowResult, error) {
+	req := NewRequest(FlowCoSynthesis, opts...)
+	cfg, err := req.cosynthConfig()
+	if err != nil {
+		return nil, err
+	}
+	cfg.HotSpot = &e.thermal
+	return e.cosynthesize(ctx, g, e.lib, cfg)
+}
+
+// Sweep runs the randomized power-aware vs thermal-aware study with
+// the engine's thermal calibration and model cache applied to every
+// platform run.
+func (e *Engine) Sweep(ctx context.Context, count int, seed int64) (*SweepResult, error) {
+	return experiments.RunSweepWith(ctx, e.lib, count, seed, cosynth.PlatformConfig{
+		HotSpot: &e.thermal,
+		Models:  e.modelProvider(),
+	})
+}
+
+// platform executes the platform flow with the engine's thermal model
+// cache wired in. lib is explicit so the deprecated free functions can
+// route caller-supplied libraries through the shared engine.
+func (e *Engine) platform(ctx context.Context, g *Graph, lib *Library, cfg cosynth.PlatformConfig) (*FlowResult, error) {
+	if cfg.Models == nil {
+		cfg.Models = e.modelProvider()
+	}
+	return cosynth.RunPlatformCtx(ctx, g, lib, cfg)
+}
+
+// cosynthesize executes the co-synthesis flow with the engine's thermal
+// model cache wired in.
+func (e *Engine) cosynthesize(ctx context.Context, g *Graph, lib *Library, cfg cosynth.CoSynthConfig) (*FlowResult, error) {
+	if cfg.Models == nil {
+		cfg.Models = e.modelProvider()
+	}
+	return cosynth.RunCoSynthesisCtx(ctx, g, lib, cfg)
+}
+
+func (e *Engine) runPlatformFlow(ctx context.Context, req *Request) (*Response, error) {
+	g, err := e.resolveGraph(req)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := req.platformConfig()
+	if err != nil {
+		return nil, err
+	}
+	cfg.HotSpot = &e.thermal
+	res, err := e.platform(ctx, g, e.lib, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return flowResponse(FlowPlatform, cfg.Policy, res, req.IncludeGantt, false)
+}
+
+func (e *Engine) runCoSynthFlow(ctx context.Context, req *Request) (*Response, error) {
+	g, err := e.resolveGraph(req)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := req.cosynthConfig()
+	if err != nil {
+		return nil, err
+	}
+	cfg.HotSpot = &e.thermal
+	res, err := e.cosynthesize(ctx, g, e.lib, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return flowResponse(FlowCoSynthesis, cfg.Policy, res, req.IncludeGantt, true)
+}
+
+func (e *Engine) runSweepFlow(ctx context.Context, req *Request) (*Response, error) {
+	count := req.SweepCount
+	if count == 0 {
+		count = 4
+	}
+	seed := int64(1)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	res, err := e.Sweep(ctx, count, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Response{Flow: FlowSweep, Sweep: res}, nil
+}
+
+func (e *Engine) runDTMFlow(ctx context.Context, req *Request) (*Response, error) {
+	g, err := e.resolveGraph(req)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := req.platformConfig()
+	if err != nil {
+		return nil, err
+	}
+	cfg.HotSpot = &e.thermal
+	res, err := e.platform(ctx, g, e.lib, cfg)
+	if err != nil {
+		return nil, err
+	}
+	spec := req.DTM.withDefaults()
+	var ctrl DTMController
+	switch spec.Controller {
+	case "toggle":
+		ctrl, err = dtm.NewToggleController(spec.TriggerC, spec.Hysteresis, spec.Throttle)
+	case "pi":
+		ctrl, err = dtm.NewPIController(spec.SetpointC, spec.Kp, spec.Ki, spec.MinScale)
+	default: // unreachable after Validate
+		err = fmt.Errorf("thermalsched: unknown DTM controller %q", spec.Controller)
+	}
+	if err != nil {
+		return nil, err
+	}
+	exec, err := sim.Execute(res.Schedule, sim.Options{MinFactor: spec.MinFactor, Seed: spec.SimSeed})
+	if err != nil {
+		return nil, err
+	}
+	trace, err := exec.Trace(spec.SampleDT)
+	if err != nil {
+		return nil, err
+	}
+	pass, err := trace.Reorder(res.Model.BlockNames())
+	if err != nil {
+		return nil, err
+	}
+	samples := make([][]float64, 0, len(pass)*spec.Passes)
+	for i := 0; i < spec.Passes; i++ {
+		samples = append(samples, pass...)
+	}
+	dtmRes, err := dtm.Run(res.Model, ctrl, samples, spec.SampleDT*spec.TimeScale)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := flowResponse(FlowDTM, cfg.Policy, res, req.IncludeGantt, false)
+	if err != nil {
+		return nil, err
+	}
+	resp.DTM = dtmReport(spec.Controller, dtmRes)
+	return resp, nil
+}
+
+// modelProvider returns the cosynth-layer hook backed by the engine's
+// factorization cache.
+func (e *Engine) modelProvider() cosynth.ModelProvider {
+	if e.models.cap == 0 {
+		return nil // caching disabled; cosynth falls back to hotspot.NewModel
+	}
+	return func(fp *floorplan.Floorplan, cfg hotspot.Config) (*hotspot.Model, error) {
+		key := modelKey(fp, cfg)
+		if m, ok := e.models.get(key); ok {
+			return m, nil
+		}
+		m, err := hotspot.NewModel(fp, cfg)
+		if err != nil {
+			return nil, err
+		}
+		e.models.put(key, m)
+		return m, nil
+	}
+}
+
+// ModelCacheStats reports the thermal-model cache's hit/miss counters
+// and current size, for observability and tests.
+func (e *Engine) ModelCacheStats() (hits, misses uint64, size int) {
+	return e.models.stats()
+}
+
+// modelKey fingerprints a (floorplan, thermal config) pair. Floorplans
+// are keyed by exact block geometry, so two floorplans solve to the
+// same factorization iff they are the same layout.
+func modelKey(fp *floorplan.Floorplan, cfg hotspot.Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%+v|", cfg)
+	for _, blk := range fp.Blocks() {
+		fmt.Fprintf(&b, "%s:%g,%g,%g,%g;", blk.Name, blk.Rect.X, blk.Rect.Y, blk.Rect.W, blk.Rect.H)
+	}
+	return b.String()
+}
+
+// modelCache is a mutex-guarded LRU of thermal models. Models are safe
+// for concurrent read-only use, so one cached instance can serve many
+// RunBatch workers at once.
+type modelCache struct {
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	byKey  map[string]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+type cacheEntry struct {
+	key   string
+	model *hotspot.Model
+}
+
+func newModelCache(capacity int) *modelCache {
+	return &modelCache{
+		cap:   capacity,
+		ll:    list.New(),
+		byKey: make(map[string]*list.Element),
+	}
+}
+
+func (c *modelCache) get(key string) (*hotspot.Model, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).model, true
+}
+
+func (c *modelCache) put(key string, m *hotspot.Model) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).model = m
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, model: m})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *modelCache) stats() (hits, misses uint64, size int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.ll.Len()
+}
+
+// Default engine backing the deprecated package-level functions. It is
+// built lazily so programs that construct their own Engine never pay
+// for it.
+var (
+	defaultEngineOnce sync.Once
+	defaultEngineVal  *Engine
+	defaultEngineErr  error
+)
+
+// DefaultEngine returns the lazily-built shared Engine the deprecated
+// package-level functions run on.
+func DefaultEngine() (*Engine, error) {
+	defaultEngineOnce.Do(func() {
+		defaultEngineVal, defaultEngineErr = NewEngine()
+	})
+	return defaultEngineVal, defaultEngineErr
+}

@@ -1,0 +1,324 @@
+package thermalsched
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// Golden equivalence: the deprecated free functions and the new Engine
+// must agree bit-for-bit, so old call sites migrate without any metric
+// drift.
+
+func testEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+var benchmarkNames = []string{"Bm1", "Bm2", "Bm3", "Bm4"}
+
+func TestEngineMatchesDeprecatedRunPlatform(t *testing.T) {
+	e := testEngine(t)
+	lib, err := StandardLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range benchmarkNames {
+		for _, policy := range Policies() {
+			g, err := Benchmark(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			old, err := RunPlatform(g, lib, policy)
+			if err != nil {
+				t.Fatalf("%s/%s wrapper: %v", name, policy, err)
+			}
+			resp, err := e.Run(context.Background(), NewRequest(
+				FlowPlatform, WithBenchmark(name), WithPolicy(policy),
+			))
+			if err != nil {
+				t.Fatalf("%s/%s engine: %v", name, policy, err)
+			}
+			if *resp.Metrics != old.Metrics {
+				t.Errorf("%s/%s metrics diverge:\n  wrapper %+v\n  engine  %+v",
+					name, policy, old.Metrics, *resp.Metrics)
+			}
+		}
+	}
+}
+
+func TestEngineMatchesDeprecatedRunCoSynthesis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("co-synthesis equivalence skipped in -short mode")
+	}
+	e := testEngine(t)
+	lib, err := StandardLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reduced GA effort keeps the 4-benchmark sweep fast; equivalence
+	// must hold at any effort since both sides receive the same config.
+	const gens = 5
+	for _, name := range benchmarkNames {
+		g, err := Benchmark(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		old, err := RunCoSynthesisConfig(g, lib, CoSynthConfig{
+			Policy: MinTaskEnergy, FloorplanGenerations: gens,
+		})
+		if err != nil {
+			t.Fatalf("%s wrapper: %v", name, err)
+		}
+		resp, err := e.Run(context.Background(), NewRequest(
+			FlowCoSynthesis,
+			WithBenchmark(name),
+			WithPolicy(MinTaskEnergy),
+			WithFloorplanGenerations(gens),
+		))
+		if err != nil {
+			t.Fatalf("%s engine: %v", name, err)
+		}
+		if *resp.Metrics != old.Metrics {
+			t.Errorf("%s metrics diverge:\n  wrapper %+v\n  engine  %+v",
+				name, old.Metrics, *resp.Metrics)
+		}
+	}
+}
+
+func TestEngineMatchesDeprecatedRunSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep equivalence skipped in -short mode")
+	}
+	e := testEngine(t)
+	lib, err := StandardLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := RunSweep(lib, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := e.Run(context.Background(), NewRequest(
+		FlowSweep, WithSweepCount(3), WithSeed(7),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(old, resp.Sweep) {
+		t.Errorf("sweep diverges:\n  wrapper %+v\n  engine  %+v", old, resp.Sweep)
+	}
+}
+
+// RunBatch over Bm1–Bm4 must return exactly the metrics of four
+// sequential Run calls, in order, while fanning out across workers.
+func TestEngineRunBatchMatchesSequential(t *testing.T) {
+	e, err := NewEngine(WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reqs []Request
+	for _, name := range benchmarkNames {
+		reqs = append(reqs, NewRequest(FlowPlatform, WithBenchmark(name), WithPolicy(ThermalAware)))
+	}
+	batch, err := e.RunBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(reqs) {
+		t.Fatalf("batch returned %d responses for %d requests", len(batch), len(reqs))
+	}
+	for i, req := range reqs {
+		seq, err := e.Run(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i] == nil || batch[i].Error != "" {
+			t.Fatalf("batch entry %d failed: %+v", i, batch[i])
+		}
+		if *batch[i].Metrics != *seq.Metrics {
+			t.Errorf("%s batch/sequential metrics diverge:\n  batch %+v\n  seq   %+v",
+				req.Benchmark, *batch[i].Metrics, *seq.Metrics)
+		}
+	}
+}
+
+// Cancellation mid co-synthesis must surface ctx.Err() promptly instead
+// of finishing the (long) architecture search.
+func TestEngineRunCancellation(t *testing.T) {
+	e := testEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := e.Run(ctx, NewRequest(
+		FlowCoSynthesis, WithBenchmark("Bm4"), WithPolicy(ThermalAware),
+	))
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("cancelled co-synthesis returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
+	}
+	// A full Bm4 thermal co-synthesis takes tens of seconds; a prompt
+	// abort is orders of magnitude faster. Generous bound for CI noise.
+	if elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v, want prompt abort", elapsed)
+	}
+}
+
+func TestEngineRequestJSONRoundTrip(t *testing.T) {
+	g, err := GenerateGraph(GenParams{
+		Name: "wire", Tasks: 6, Edges: 6, Deadline: 900,
+		Types: 8, Sources: 1, MaxData: 10, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := NewRequest(
+		FlowCoSynthesis,
+		WithGraph(g),
+		WithPolicy(MinTaskEnergy),
+		WithSeed(0), // explicit zero must survive the wire
+		WithMaxPEs(3),
+		WithFloorplanGenerations(4),
+		WithTempWeight(12.5),
+	)
+	blob, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Request
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(req, decoded) {
+		t.Fatalf("request round trip diverges:\n  in  %+v\n  out %+v", req, decoded)
+	}
+	if decoded.Seed == nil || *decoded.Seed != 0 {
+		t.Fatalf("explicit zero seed lost on the wire: %+v", decoded.Seed)
+	}
+	g2, err := decoded.Graph.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumTasks() != g.NumTasks() || g2.NumEdges() != g.NumEdges() || g2.Deadline != g.Deadline {
+		t.Errorf("graph spec round trip diverges: %d/%d/%g vs %d/%d/%g",
+			g2.NumTasks(), g2.NumEdges(), g2.Deadline, g.NumTasks(), g.NumEdges(), g.Deadline)
+	}
+
+	// A response must round trip too: it is the service's wire format.
+	e := testEngine(t)
+	resp, err := e.Run(context.Background(), NewRequest(FlowPlatform, WithBenchmark("Bm1")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err = json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decodedResp Response
+	if err := json.Unmarshal(blob, &decodedResp); err != nil {
+		t.Fatal(err)
+	}
+	if *decodedResp.Metrics != *resp.Metrics {
+		t.Errorf("response metrics round trip diverges")
+	}
+}
+
+func TestEngineDTMFlow(t *testing.T) {
+	e := testEngine(t)
+	resp, err := e.Run(context.Background(), NewRequest(
+		FlowDTM,
+		WithBenchmark("Bm1"),
+		WithPolicy(ThermalAware),
+		WithDTM(DTMSpec{Controller: "toggle", TriggerC: 80, Passes: 2}),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.DTM == nil {
+		t.Fatal("dtm flow returned no DTM report")
+	}
+	if resp.DTM.Steps <= 0 {
+		t.Errorf("dtm ran %d steps", resp.DTM.Steps)
+	}
+	if resp.DTM.PeakTempC <= DefaultThermalConfig().AmbientC {
+		t.Errorf("dtm peak %v not above ambient", resp.DTM.PeakTempC)
+	}
+	if resp.Metrics == nil || !resp.Metrics.Feasible {
+		t.Errorf("dtm flow lost the underlying schedule metrics: %+v", resp.Metrics)
+	}
+}
+
+func TestEngineModelCacheReuse(t *testing.T) {
+	e := testEngine(t)
+	for i := 0; i < 3; i++ {
+		if _, err := e.Run(context.Background(), NewRequest(
+			FlowPlatform, WithBenchmark("Bm1"), WithPolicy(ThermalAware),
+		)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses, size := e.ModelCacheStats()
+	if misses != 1 || size != 1 {
+		t.Errorf("platform flow should build one model once: hits %d, misses %d, size %d",
+			hits, misses, size)
+	}
+	if hits < 2 {
+		t.Errorf("expected cache hits on repeated platform runs, got %d", hits)
+	}
+}
+
+func TestEngineRequestValidation(t *testing.T) {
+	e := testEngine(t)
+	bad := []Request{
+		{},                   // no flow
+		{Flow: "warp"},       // unknown flow
+		{Flow: FlowPlatform}, // no graph source
+		{Flow: FlowPlatform, Benchmark: "Bm1", Graph: &GraphSpec{}}, // both sources
+		{Flow: FlowPlatform, Benchmark: "Bm1", Policy: "coldest"},   // unknown policy
+		{Flow: FlowSweep, Benchmark: "Bm1"},                         // sweep with input graph
+		{Flow: FlowPlatform, Benchmark: "Bm1", MaxPEs: -1},
+		{Flow: FlowPlatform, Benchmark: "Bm1", DTM: &DTMSpec{}}, // dtm knobs on platform
+		{Flow: FlowDTM, Benchmark: "Bm1", DTM: &DTMSpec{Controller: "bangbang"}},
+	}
+	for i, req := range bad {
+		if _, err := e.Run(context.Background(), req); err == nil {
+			t.Errorf("bad request %d accepted: %+v", i, req)
+		}
+	}
+	if _, err := e.Run(context.Background(), NewRequest(FlowPlatform, WithBenchmark("Bm9"))); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestEngineGanttIncluded(t *testing.T) {
+	e := testEngine(t)
+	resp, err := e.Run(context.Background(), NewRequest(
+		FlowPlatform, WithBenchmark("Bm1"), WithGantt(),
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Gantt == "" {
+		t.Error("requested gantt missing from response")
+	}
+	resp, err = e.Run(context.Background(), NewRequest(FlowPlatform, WithBenchmark("Bm1")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Gantt != "" {
+		t.Error("unrequested gantt present in response")
+	}
+}

@@ -1,55 +1,56 @@
-// Co-synthesis (paper Fig. 1a): synthesize a customized architecture for
-// a benchmark under the power-aware and the thermal-aware flows and
+// Co-synthesis (paper Fig. 1a): synthesize a customized architecture
+// for a benchmark under the power-aware and the thermal-aware flows and
 // compare the selected PE sets, floorplans and temperatures — the
-// comparison behind the paper's Table 2.
+// comparison behind the paper's Table 2. Both runs go through one
+// Engine, whose request options replace the legacy config structs.
 //
 //	go run ./examples/cosynthesis
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"os"
 
 	"thermalsched"
 )
 
 func main() {
-	lib, err := thermalsched.StandardLibrary()
+	engine, err := thermalsched.NewEngine()
 	if err != nil {
 		log.Fatal(err)
 	}
-	g, err := thermalsched.Benchmark("Bm2")
+	ctx := context.Background()
+
+	g, err := engine.Benchmark("Bm2")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("co-synthesizing an architecture for %s (deadline %.0f)\n\n", g.Name, g.Deadline)
 
 	for _, policy := range []thermalsched.Policy{thermalsched.MinTaskEnergy, thermalsched.ThermalAware} {
-		res, err := thermalsched.RunCoSynthesisConfig(g, lib, thermalsched.CoSynthConfig{
-			Policy:               policy,
-			FloorplanGenerations: 20,
-		})
+		resp, err := engine.Run(ctx, thermalsched.NewRequest(
+			thermalsched.FlowCoSynthesis,
+			thermalsched.WithBenchmark("Bm2"),
+			thermalsched.WithPolicy(policy),
+			thermalsched.WithFloorplanGenerations(20),
+		))
 		if err != nil {
 			log.Fatal(err)
 		}
-		m := res.Metrics
-		fmt.Printf("=== %s flow\n", policy)
-		fmt.Printf("architecture: %d PEs, cost %.0f\n", len(res.Arch.PEs), m.Cost)
-		for _, pe := range res.Arch.PEs {
-			t := res.Schedule.Lib.PEType(pe.Type)
-			fmt.Printf("  %-5s %-9s %5.1f mm²\n", pe.Name, t.Name, t.Area*1e6)
+		m := resp.Metrics
+		fmt.Printf("=== %s flow\n", resp.Policy)
+		fmt.Printf("architecture: %d PEs, cost %.0f\n", len(resp.Architecture), m.Cost)
+		for _, pe := range resp.Architecture {
+			fmt.Printf("  %-5s %-9s %5.1f mm²\n", pe.Name, pe.Type, pe.AreaMM2)
 		}
-		fmt.Printf("floorplan:    %s\n", res.Plan)
 		fmt.Printf("makespan      %.1f (deadline %.0f)\n", m.Makespan, g.Deadline)
 		fmt.Printf("total power   %.2f W\n", m.TotalPower)
 		fmt.Printf("temperatures  max %.2f °C, avg %.2f °C\n\n", m.MaxTemp, m.AvgTemp)
 
 		if policy == thermalsched.ThermalAware {
 			fmt.Println("thermal-aware floorplan (.flp):")
-			if err := res.Plan.Write(os.Stdout); err != nil {
-				log.Fatal(err)
-			}
+			fmt.Print(resp.Floorplan)
 		}
 	}
 }

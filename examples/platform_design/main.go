@@ -1,11 +1,15 @@
 // Platform design (paper Fig. 1b): evaluate every ASP policy on the
-// fixed platform of four identical PEs across all four paper benchmarks,
-// reproducing the platform columns of Tables 1 and 3.
+// fixed platform of four identical PEs across all four paper
+// benchmarks, reproducing the platform columns of Tables 1 and 3. The
+// full 4×5 grid is submitted as one Engine.RunBatch call, which fans
+// the twenty runs out across a bounded worker pool while every run
+// shares one cached thermal-model factorization of the platform.
 //
 //	go run ./examples/platform_design
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,11 +17,25 @@ import (
 )
 
 func main() {
-	lib, err := thermalsched.StandardLibrary()
+	engine, err := thermalsched.NewEngine()
 	if err != nil {
 		log.Fatal(err)
 	}
-	graphs, err := thermalsched.Benchmarks()
+
+	benchmarks := []string{"Bm1", "Bm2", "Bm3", "Bm4"}
+	policies := thermalsched.Policies()
+
+	var reqs []thermalsched.Request
+	for _, b := range benchmarks {
+		for _, p := range policies {
+			reqs = append(reqs, thermalsched.NewRequest(
+				thermalsched.FlowPlatform,
+				thermalsched.WithBenchmark(b),
+				thermalsched.WithPolicy(p),
+			))
+		}
+	}
+	resps, err := engine.RunBatch(context.Background(), reqs)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -26,16 +44,22 @@ func main() {
 	fmt.Printf("%-16s %-12s %8s %9s %9s %10s\n",
 		"benchmark", "policy", "TotPow", "MaxTemp", "AvgTemp", "makespan")
 
-	for _, g := range graphs {
+	i := 0
+	for _, b := range benchmarks {
+		g, err := engine.Benchmark(b)
+		if err != nil {
+			log.Fatal(err)
+		}
 		var baseMax float64
-		for _, policy := range thermalsched.Policies() {
-			res, err := thermalsched.RunPlatform(g, lib, policy)
-			if err != nil {
-				log.Fatal(err)
+		for _, p := range policies {
+			resp := resps[i]
+			i++
+			if resp.Error != "" {
+				log.Fatalf("%s/%s: %s", b, p, resp.Error)
 			}
-			m := res.Metrics
+			m := resp.Metrics
 			note := ""
-			if policy == thermalsched.Baseline {
+			if p == thermalsched.Baseline {
 				baseMax = m.MaxTemp
 			} else if d := baseMax - m.MaxTemp; d > 0 {
 				note = fmt.Sprintf("  (-%.1f °C vs baseline)", d)
@@ -45,8 +69,12 @@ func main() {
 			}
 			fmt.Printf("%-16s %-12s %8.2f %9.2f %9.2f %10.1f%s\n",
 				fmt.Sprintf("%s/%d/%d/%.0f", g.Name, g.NumTasks(), g.NumEdges(), g.Deadline),
-				policy, m.TotalPower, m.MaxTemp, m.AvgTemp, m.Makespan, note)
+				resp.Policy, m.TotalPower, m.MaxTemp, m.AvgTemp, m.Makespan, note)
 		}
 		fmt.Println()
 	}
+
+	hits, misses, _ := engine.ModelCacheStats()
+	fmt.Printf("thermal-model cache: %d hits, %d misses across %d runs\n",
+		hits, misses, len(reqs))
 }

@@ -1,10 +1,12 @@
-// Quickstart: schedule a paper benchmark on the 4-PE platform with the
-// thermal-aware ASP and print the resulting temperatures.
+// Quickstart: build an Engine, schedule a paper benchmark on the 4-PE
+// platform with the thermal-aware ASP, and print the resulting
+// temperatures.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,25 +14,32 @@ import (
 )
 
 func main() {
-	lib, err := thermalsched.StandardLibrary()
+	// One Engine per process: it owns the technology library, the parsed
+	// benchmarks, and the thermal-model cache shared by every run.
+	engine, err := thermalsched.NewEngine()
 	if err != nil {
 		log.Fatal(err)
 	}
-	g, err := thermalsched.Benchmark("Bm1")
-	if err != nil {
-		log.Fatal(err)
-	}
+	ctx := context.Background()
 
+	g, err := engine.Benchmark("Bm1")
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("benchmark %s: %d tasks, %d edges, deadline %.0f\n\n",
 		g.Name, g.NumTasks(), g.NumEdges(), g.Deadline)
 
 	// Compare the traditional baseline against the thermal-aware ASP.
 	for _, policy := range []thermalsched.Policy{thermalsched.Baseline, thermalsched.ThermalAware} {
-		res, err := thermalsched.RunPlatform(g, lib, policy)
+		resp, err := engine.Run(ctx, thermalsched.NewRequest(
+			thermalsched.FlowPlatform,
+			thermalsched.WithBenchmark("Bm1"),
+			thermalsched.WithPolicy(policy),
+		))
 		if err != nil {
 			log.Fatal(err)
 		}
-		m := res.Metrics
+		m := resp.Metrics
 		fmt.Printf("%-10s makespan %6.1f  total %5.2f W  max %6.2f °C  avg %6.2f °C\n",
 			policy, m.Makespan, m.TotalPower, m.MaxTemp, m.AvgTemp)
 	}

@@ -1,13 +1,17 @@
 // Thermal exploration: beyond the paper's steady-state tables, this
 // example exercises the substrates directly — a thermal-aware GA
-// floorplan for a heterogeneous SoC, a transient warm-up simulation of a
-// real schedule's power profile, and the temperature-dependent leakage
-// fixed point the paper's introduction motivates.
+// floorplan for a heterogeneous SoC, a transient warm-up simulation of
+// a real schedule's power profile, and the temperature-dependent
+// leakage fixed point the paper's introduction motivates. The platform
+// schedule comes from Engine.Platform, the typed counterpart of
+// Engine.Run that returns the full result (schedule, thermal model)
+// instead of the serializable Response.
 //
 //	go run ./examples/thermal_exploration
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,10 +19,11 @@ import (
 )
 
 func main() {
-	lib, err := thermalsched.StandardLibrary()
+	engine, err := thermalsched.NewEngine()
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 
 	// 1. Thermal-aware floorplanning of a small heterogeneous SoC.
 	blocks := []thermalsched.FloorplanBlock{
@@ -49,11 +54,11 @@ func main() {
 	fmt.Printf("1. thermal-aware floorplan: %s, peak %.2f °C\n\n", fpRes.Plan, fpRes.PeakTemp)
 
 	// 2. Transient warm-up of a real platform schedule.
-	g, err := thermalsched.Benchmark("Bm2")
+	g, err := engine.Benchmark("Bm2")
 	if err != nil {
 		log.Fatal(err)
 	}
-	run, err := thermalsched.RunPlatform(g, lib, thermalsched.ThermalAware)
+	run, err := engine.Platform(ctx, g, thermalsched.WithPolicy(thermalsched.ThermalAware))
 	if err != nil {
 		log.Fatal(err)
 	}

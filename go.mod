@@ -1,0 +1,3 @@
+module thermalsched
+
+go 1.24

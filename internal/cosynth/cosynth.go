@@ -1,6 +1,7 @@
 package cosynth
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -31,8 +32,16 @@ type CoSynthConfig struct {
 	// FloorplanGenerations sizes the GA floorplanner effort per candidate
 	// architecture. Zero means 30.
 	FloorplanGenerations int
-	// Seed drives the GA floorplanner.
+	// Seed drives the GA floorplanner. For backwards compatibility a
+	// zero Seed means 1 unless SeedSet is true.
 	Seed int64
+	// SeedSet marks Seed as explicitly chosen, making a literal zero
+	// seed usable. The Engine API sets this whenever a request carries
+	// a seed.
+	SeedSet bool
+	// Models supplies thermal models; nil means hotspot.NewModel. The
+	// Engine layer injects its factorization cache here.
+	Models ModelProvider
 }
 
 func (c *CoSynthConfig) withDefaults(lib *techlib.Library) (CoSynthConfig, error) {
@@ -59,7 +68,7 @@ func (c *CoSynthConfig) withDefaults(lib *techlib.Library) (CoSynthConfig, error
 	if out.FloorplanGenerations == 0 {
 		out.FloorplanGenerations = 30
 	}
-	if out.Seed == 0 {
+	if out.Seed == 0 && !out.SeedSet {
 		out.Seed = 1
 	}
 	return out, nil
@@ -72,6 +81,13 @@ func (c *CoSynthConfig) withDefaults(lib *techlib.Library) (CoSynthConfig, error
 // with the configured ASP; finally it prunes PEs that the deadline does
 // not need, minimizing cost.
 func RunCoSynthesis(g *taskgraph.Graph, lib *techlib.Library, cfg CoSynthConfig) (*Result, error) {
+	return RunCoSynthesisCtx(context.Background(), g, lib, cfg)
+}
+
+// RunCoSynthesisCtx is RunCoSynthesis with cancellation: ctx is checked
+// before every candidate-architecture evaluation and threaded into the
+// GA floorplanner and the ASP, so long co-synthesis runs abort promptly.
+func RunCoSynthesisCtx(ctx context.Context, g *taskgraph.Graph, lib *techlib.Library, cfg CoSynthConfig) (*Result, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
@@ -140,7 +156,7 @@ func RunCoSynthesis(g *taskgraph.Graph, lib *techlib.Library, cfg CoSynthConfig)
 	}
 
 	types := []int{seedType.idx} // current architecture as a type multiset
-	best, err := evaluate(g, lib, types, c)
+	best, err := evaluate(ctx, g, lib, types, c)
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +195,7 @@ func RunCoSynthesis(g *taskgraph.Graph, lib *techlib.Library, cfg CoSynthConfig)
 			return a.Metrics.Makespan < b.Metrics.Makespan
 		}
 		consider := func(ts []int) error {
-			r, err := evaluate(g, lib, ts, c)
+			r, err := evaluate(ctx, g, lib, ts, c)
 			if err != nil {
 				return err
 			}
@@ -230,7 +246,7 @@ func RunCoSynthesis(g *taskgraph.Graph, lib *techlib.Library, cfg CoSynthConfig)
 			}
 			var bestOpt *option
 			consider := func(ts []int) error {
-				r, err := evaluate(g, lib, ts, c)
+				r, err := evaluate(ctx, g, lib, ts, c)
 				if err != nil {
 					return err
 				}
@@ -282,7 +298,7 @@ func RunCoSynthesis(g *taskgraph.Graph, lib *techlib.Library, cfg CoSynthConfig)
 				if !unionCovers(pruned) {
 					continue
 				}
-				r, err := evaluate(g, lib, pruned, c)
+				r, err := evaluate(ctx, g, lib, pruned, c)
 				if err != nil {
 					return nil, err
 				}
@@ -303,7 +319,10 @@ func RunCoSynthesis(g *taskgraph.Graph, lib *techlib.Library, cfg CoSynthConfig)
 
 // evaluate builds a concrete architecture from a type multiset,
 // floorplans it, wires the thermal model, runs the ASP, and scores it.
-func evaluate(g *taskgraph.Graph, lib *techlib.Library, types []int, c CoSynthConfig) (*Result, error) {
+func evaluate(ctx context.Context, g *taskgraph.Graph, lib *techlib.Library, types []int, c CoSynthConfig) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("cosynth: cancelled: %w", err)
+	}
 	arch := sched.Architecture{
 		Name:           fmt.Sprintf("cosynth-%dpe", len(types)),
 		BusTimePerUnit: c.BusTimePerUnit,
@@ -327,7 +346,7 @@ func evaluate(g *taskgraph.Graph, lib *techlib.Library, types []int, c CoSynthCo
 
 	// Pilot schedule (heuristic 3) for the floorplanner's power estimates.
 	pilotCfg := sched.DefaultConfig(sched.MinTaskEnergy)
-	pilot, err := sched.AllocateAndSchedule(g, arch, lib, pilotCfg)
+	pilot, err := sched.AllocateAndScheduleCtx(ctx, g, arch, lib, pilotCfg)
 	if err != nil {
 		return nil, fmt.Errorf("cosynth: pilot schedule: %w", err)
 	}
@@ -348,7 +367,7 @@ func evaluate(g *taskgraph.Graph, lib *techlib.Library, types []int, c CoSynthCo
 	gaCfg.Seed = c.Seed
 	if c.Policy == sched.ThermalAware {
 		gaCfg.Eval = func(fp *floorplan.Floorplan, power map[string]float64) (float64, error) {
-			m, err := hotspot.NewModel(fp, hs)
+			m, err := c.Models.newModel(fp, hs)
 			if err != nil {
 				return 0, err
 			}
@@ -363,12 +382,12 @@ func evaluate(g *taskgraph.Graph, lib *techlib.Library, types []int, c CoSynthCo
 	} else {
 		gaCfg.TempWeight = 0
 	}
-	fpRes, err := floorplan.RunGA(blocks, gaCfg)
+	fpRes, err := floorplan.RunGACtx(ctx, blocks, gaCfg)
 	if err != nil {
 		return nil, fmt.Errorf("cosynth: floorplanning: %w", err)
 	}
 
-	model, err := hotspot.NewModel(fpRes.Plan, hs)
+	model, err := c.Models.newModel(fpRes.Plan, hs)
 	if err != nil {
 		return nil, err
 	}
@@ -385,7 +404,7 @@ func evaluate(g *taskgraph.Graph, lib *techlib.Library, types []int, c CoSynthCo
 	if c.Policy == sched.ThermalAware {
 		sc.Oracle = oracle
 	}
-	s, err := sched.AllocateAndSchedule(g, arch, lib, sc)
+	s, err := sched.AllocateAndScheduleCtx(ctx, g, arch, lib, sc)
 	if err != nil {
 		return nil, fmt.Errorf("cosynth: schedule on %s: %w", arch.Name, err)
 	}

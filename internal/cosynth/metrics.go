@@ -26,13 +26,33 @@ import (
 )
 
 // Metrics are the three columns of the paper's tables plus context.
+// The JSON field names are part of the serialized Response schema of
+// the thermalsched Engine API and the thermschedd service.
 type Metrics struct {
-	TotalPower float64 // total energy / deadline, W (the "Total Pow." column)
-	MaxTemp    float64 // peak steady-state block temperature, °C
-	AvgTemp    float64 // average steady-state block temperature, °C
-	Makespan   float64
-	Feasible   bool    // makespan ≤ deadline
-	Cost       float64 // summed PE cost (co-synthesis objective)
+	TotalPower float64 `json:"totalPowerW"` // total energy / deadline, W (the "Total Pow." column)
+	MaxTemp    float64 `json:"maxTempC"`    // peak steady-state block temperature, °C
+	AvgTemp    float64 `json:"avgTempC"`    // average steady-state block temperature, °C
+	Makespan   float64 `json:"makespan"`
+	Feasible   bool    `json:"feasible"` // makespan ≤ deadline
+	Cost       float64 `json:"cost"`     // summed PE cost (co-synthesis objective)
+}
+
+// ModelProvider constructs (or recalls) the thermal model of a
+// floorplan under a configuration. The Engine layer injects a caching
+// provider here so repeated flows over the same floorplan — every
+// platform run, and repeated candidate layouts inside co-synthesis —
+// reuse one Cholesky factorization. A nil provider means
+// hotspot.NewModel. Providers must be safe for concurrent use and must
+// return models that are safe for concurrent read-only use (as
+// hotspot.NewModel's are).
+type ModelProvider func(fp *floorplan.Floorplan, cfg hotspot.Config) (*hotspot.Model, error)
+
+// newModel resolves a possibly-nil provider.
+func (p ModelProvider) newModel(fp *floorplan.Floorplan, cfg hotspot.Config) (*hotspot.Model, error) {
+	if p == nil {
+		return hotspot.NewModel(fp, cfg)
+	}
+	return p(fp, cfg)
 }
 
 // Result is the outcome of one flow run.

@@ -1,6 +1,7 @@
 package cosynth
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -25,6 +26,9 @@ type PlatformConfig struct {
 	// HotSpot overrides the thermal model configuration; nil means
 	// hotspot.DefaultConfig.
 	HotSpot *hotspot.Config
+	// Models supplies thermal models; nil means hotspot.NewModel. The
+	// Engine layer injects its factorization cache here.
+	Models ModelProvider
 }
 
 // DefaultBusTimePerUnit is the communication rate used throughout the
@@ -37,6 +41,10 @@ const DefaultBusTimePerUnit = 0.05
 // A row (not a 2×2 grid) is used so the platform has the edge/centre
 // asymmetry every real package exhibits; see DESIGN.md.
 func BuildPlatform(lib *techlib.Library, busTimePerUnit float64, hsCfg hotspot.Config) (sched.Architecture, *floorplan.Floorplan, *hotspot.Model, *sched.ModelOracle, error) {
+	return buildPlatform(lib, busTimePerUnit, hsCfg, nil)
+}
+
+func buildPlatform(lib *techlib.Library, busTimePerUnit float64, hsCfg hotspot.Config, models ModelProvider) (sched.Architecture, *floorplan.Floorplan, *hotspot.Model, *sched.ModelOracle, error) {
 	arch, err := sched.PlatformFromTypes(lib, techlib.PlatformPETypeNames(), busTimePerUnit)
 	if err != nil {
 		return sched.Architecture{}, nil, nil, nil, err
@@ -46,7 +54,7 @@ func BuildPlatform(lib *techlib.Library, busTimePerUnit float64, hsCfg hotspot.C
 	if err != nil {
 		return sched.Architecture{}, nil, nil, nil, err
 	}
-	model, err := hotspot.NewModel(fp, hsCfg)
+	model, err := models.newModel(fp, hsCfg)
 	if err != nil {
 		return sched.Architecture{}, nil, nil, nil, err
 	}
@@ -61,6 +69,12 @@ func BuildPlatform(lib *techlib.Library, busTimePerUnit float64, hsCfg hotspot.C
 // 4-PE platform under the configured policy and extract the final
 // temperature profile.
 func RunPlatform(g *taskgraph.Graph, lib *techlib.Library, cfg PlatformConfig) (*Result, error) {
+	return RunPlatformCtx(context.Background(), g, lib, cfg)
+}
+
+// RunPlatformCtx is RunPlatform with cancellation threaded into the
+// ASP's greedy loop.
+func RunPlatformCtx(ctx context.Context, g *taskgraph.Graph, lib *techlib.Library, cfg PlatformConfig) (*Result, error) {
 	bus := cfg.BusTimePerUnit
 	if bus == 0 {
 		bus = DefaultBusTimePerUnit
@@ -69,7 +83,7 @@ func RunPlatform(g *taskgraph.Graph, lib *techlib.Library, cfg PlatformConfig) (
 	if cfg.HotSpot != nil {
 		hs = *cfg.HotSpot
 	}
-	arch, fp, model, oracle, err := BuildPlatform(lib, bus, hs)
+	arch, fp, model, oracle, err := buildPlatform(lib, bus, hs, cfg.Models)
 	if err != nil {
 		return nil, err
 	}
@@ -81,7 +95,7 @@ func RunPlatform(g *taskgraph.Graph, lib *techlib.Library, cfg PlatformConfig) (
 	if cfg.Policy == sched.ThermalAware {
 		sc.Oracle = oracle
 	}
-	s, err := sched.AllocateAndSchedule(g, arch, lib, sc)
+	s, err := sched.AllocateAndScheduleCtx(ctx, g, arch, lib, sc)
 	if err != nil {
 		return nil, fmt.Errorf("cosynth: platform schedule: %w", err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -17,20 +18,34 @@ import (
 // task graphs and reports win rates and mean reductions, so the headline
 // claim is backed by a distribution rather than four samples.
 type SweepResult struct {
-	Graphs        int
-	FeasibleBoth  int // graphs where both policies met the deadline
-	MaxWins       int // thermal max-temp wins among FeasibleBoth
-	AvgWins       int // thermal avg-temp wins among FeasibleBoth
-	PowerWins     int // thermal total-power wins among FeasibleBoth
-	MeanMaxRed    float64
-	MeanAvgRed    float64
-	MeanPowerRedW float64
+	Graphs        int     `json:"graphs"`
+	FeasibleBoth  int     `json:"feasibleBoth"` // graphs where both policies met the deadline
+	MaxWins       int     `json:"maxWins"`      // thermal max-temp wins among FeasibleBoth
+	AvgWins       int     `json:"avgWins"`      // thermal avg-temp wins among FeasibleBoth
+	PowerWins     int     `json:"powerWins"`    // thermal total-power wins among FeasibleBoth
+	MeanMaxRed    float64 `json:"meanMaxRedC"`
+	MeanAvgRed    float64 `json:"meanAvgRedC"`
+	MeanPowerRedW float64 `json:"meanPowerRedW"`
 }
 
 // RunSweep generates count random task graphs (sizes spanning the
 // paper's benchmark range) and compares heuristic 3 against the
 // thermal-aware ASP on the platform flow.
 func RunSweep(lib *techlib.Library, count int, seed int64) (*SweepResult, error) {
+	return RunSweepCtx(context.Background(), lib, count, seed)
+}
+
+// RunSweepCtx is RunSweep with cancellation threaded into every
+// scheduling run of the study.
+func RunSweepCtx(ctx context.Context, lib *techlib.Library, count int, seed int64) (*SweepResult, error) {
+	return RunSweepWith(ctx, lib, count, seed, cosynth.PlatformConfig{})
+}
+
+// RunSweepWith additionally takes a base platform configuration whose
+// HotSpot, Models and BusTimePerUnit settings apply to every run of the
+// study — the Engine passes its thermal calibration and model cache
+// here. Policy and Sched are set per run and ignored on base.
+func RunSweepWith(ctx context.Context, lib *techlib.Library, count int, seed int64, base cosynth.PlatformConfig) (*SweepResult, error) {
 	if count < 1 {
 		return nil, fmt.Errorf("experiments: sweep count %d", count)
 	}
@@ -53,11 +68,15 @@ func RunSweep(lib *techlib.Library, count int, seed int64) (*SweepResult, error)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: sweep graph %d: %w", i, err)
 		}
-		pRes, err := cosynth.RunPlatform(g, lib, cosynth.PlatformConfig{Policy: sched.MinTaskEnergy})
+		pCfg := base
+		pCfg.Policy, pCfg.Sched = sched.MinTaskEnergy, nil
+		pRes, err := cosynth.RunPlatformCtx(ctx, g, lib, pCfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: sweep %d power run: %w", i, err)
 		}
-		tRes, err := cosynth.RunPlatform(g, lib, cosynth.PlatformConfig{Policy: sched.ThermalAware})
+		tCfg := base
+		tCfg.Policy, tCfg.Sched = sched.ThermalAware, nil
+		tRes, err := cosynth.RunPlatformCtx(ctx, g, lib, tCfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: sweep %d thermal run: %w", i, err)
 		}

@@ -1,6 +1,7 @@
 package floorplan
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -72,6 +73,14 @@ type individual struct {
 // RunGA searches for a slicing floorplan of blocks minimizing the
 // weighted area/temperature objective.
 func RunGA(blocks []Block, cfg GAConfig) (*Result, error) {
+	return RunGACtx(context.Background(), blocks, cfg)
+}
+
+// RunGACtx is RunGA with cancellation: the search checks ctx before
+// every packing evaluation (the unit of work — a Stockmeyer pack plus,
+// under a thermal objective, a full model build and solve) and returns
+// a ctx-wrapping error promptly after cancellation.
+func RunGACtx(ctx context.Context, blocks []Block, cfg GAConfig) (*Result, error) {
 	if len(blocks) == 0 {
 		return nil, fmt.Errorf("floorplan: no blocks to place")
 	}
@@ -100,6 +109,9 @@ func RunGA(blocks []Block, cfg GAConfig) (*Result, error) {
 	var tempScale float64 = 1
 
 	score := func(e Expression) (individual, error) {
+		if err := ctx.Err(); err != nil {
+			return individual{}, fmt.Errorf("floorplan: GA cancelled after %d evaluations: %w", evals, err)
+		}
 		plan, area, err := Pack(e, blocks)
 		if err != nil {
 			return individual{}, err

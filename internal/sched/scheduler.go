@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -21,6 +22,15 @@ import (
 // check MeetsDeadline and react. Scheduling only fails on structural
 // problems: invalid inputs or a task no PE in arch can run.
 func AllocateAndSchedule(g *taskgraph.Graph, arch Architecture, lib *techlib.Library, cfg Config) (*Schedule, error) {
+	return AllocateAndScheduleCtx(context.Background(), g, arch, lib, cfg)
+}
+
+// AllocateAndScheduleCtx is AllocateAndSchedule with cancellation: the
+// greedy loop checks ctx before every task commitment (each step of a
+// thermal-aware run issues tasks×PEs thermal inquiries, so this is the
+// natural abort granularity) and returns a ctx-wrapping error promptly
+// after cancellation.
+func AllocateAndScheduleCtx(ctx context.Context, g *taskgraph.Graph, arch Architecture, lib *techlib.Library, cfg Config) (*Schedule, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -133,6 +143,10 @@ func AllocateAndSchedule(g *taskgraph.Graph, arch Architecture, lib *techlib.Lib
 	}
 
 	for scheduledCount < n {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sched: cancelled with %d/%d tasks scheduled: %w",
+				scheduledCount, n, err)
+		}
 		bestTask, bestPE := -1, -1
 		bestDC := math.Inf(-1)
 		var bestStart, bestFinish, bestPower float64

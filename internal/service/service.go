@@ -1,0 +1,221 @@
+// Package service exposes a thermalsched Engine as an HTTP/JSON API:
+// request decoding and validation, flow routing, and concurrency
+// limiting. cmd/thermschedd is the thin binary around it.
+//
+// Endpoints:
+//
+//	POST /v1/run    one thermalsched.Request  -> one thermalsched.Response
+//	POST /v1/batch  []thermalsched.Request    -> []thermalsched.Response
+//	GET  /healthz   liveness + engine cache stats
+//
+// The wire schema is exactly the package's Request/Response types, so
+// the CLI's -json output, the service's responses, and library-level
+// JSON round trips all share one format.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"thermalsched"
+)
+
+// Config tunes the service.
+type Config struct {
+	// MaxInFlight bounds the number of requests being executed at once
+	// across all endpoints (a batch counts once per entry). Zero means
+	// DefaultMaxInFlight.
+	MaxInFlight int
+	// MaxBatch caps the entries accepted by /v1/batch. Zero means
+	// DefaultMaxBatch.
+	MaxBatch int
+	// MaxBodyBytes caps the request body size. Zero means
+	// DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+}
+
+// Defaults for Config's zero values.
+const (
+	DefaultMaxInFlight  = 4
+	DefaultMaxBatch     = 64
+	DefaultMaxBodyBytes = 8 << 20
+)
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = DefaultMaxInFlight
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	return c
+}
+
+// Validate reports the first invalid configuration field.
+func (c Config) Validate() error {
+	if c.MaxInFlight < 0 || c.MaxBatch < 0 || c.MaxBodyBytes < 0 {
+		return fmt.Errorf("service: negative limits (inflight %d, batch %d, body %d)",
+			c.MaxInFlight, c.MaxBatch, c.MaxBodyBytes)
+	}
+	return nil
+}
+
+// Service routes scheduling requests to an Engine under a concurrency
+// limit. Construct with New; it is safe for concurrent use.
+type Service struct {
+	engine *thermalsched.Engine
+	cfg    Config
+	slots  chan struct{} // counting semaphore, one slot per running request
+}
+
+// New wraps an engine with validation, routing and concurrency limits.
+func New(engine *thermalsched.Engine, cfg Config) (*Service, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("service: nil engine")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	return &Service{
+		engine: engine,
+		cfg:    cfg,
+		slots:  make(chan struct{}, cfg.MaxInFlight),
+	}, nil
+}
+
+// Handler returns the HTTP handler serving the service's endpoints.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// errorBody is the JSON error envelope for non-200 responses.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // client gone is the only failure; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// acquire takes an execution slot. When the service is saturated the
+// request queues here until a slot frees or the client disconnects —
+// admission is blocking by design, so bursty callers see latency
+// rather than rejections.
+func (s *Service) acquire(r *http.Request) error {
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-r.Context().Done():
+		return r.Context().Err()
+	}
+}
+
+func (s *Service) release() { <-s.slots }
+
+func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req thermalsched.Request
+	if err := s.decode(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.acquire(r); err != nil {
+		return // client cancelled while queued; nothing to write
+	}
+	defer s.release()
+	resp, err := s.engine.Run(r.Context(), req)
+	if err != nil {
+		if errors.Is(err, r.Context().Err()) && r.Context().Err() != nil {
+			return // client cancelled mid-run
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var reqs []thermalsched.Request
+	if err := s.decode(w, r, &reqs); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(reqs) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: empty batch"))
+		return
+	}
+	if len(reqs) > s.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("service: batch of %d exceeds limit %d", len(reqs), s.cfg.MaxBatch))
+		return
+	}
+	// Validate the whole batch up front so a malformed entry rejects the
+	// request before any work runs.
+	for i := range reqs {
+		if err := reqs[i].Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("service: batch entry %d: %w", i, err))
+			return
+		}
+	}
+	if err := s.acquire(r); err != nil {
+		return
+	}
+	defer s.release()
+	// The engine's own worker pool fans the batch out; the service-level
+	// semaphore treats the batch as one unit of admission so a single
+	// large batch cannot starve /v1/run callers of all slots.
+	resps, err := s.engine.RunBatch(r.Context(), reqs)
+	if err != nil && r.Context().Err() != nil {
+		return // client cancelled; partial results are moot
+	}
+	writeJSON(w, http.StatusOK, resps)
+}
+
+type healthBody struct {
+	Status      string `json:"status"`
+	CacheHits   uint64 `json:"cacheHits"`
+	CacheMisses uint64 `json:"cacheMisses"`
+	CacheSize   int    `json:"cacheSize"`
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
+	hits, misses, size := s.engine.ModelCacheStats()
+	writeJSON(w, http.StatusOK, healthBody{
+		Status: "ok", CacheHits: hits, CacheMisses: misses, CacheSize: size,
+	})
+}
+
+// decode reads a size-capped JSON body into v, rejecting trailing data.
+func (s *Service) decode(w http.ResponseWriter, r *http.Request, v any) error {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("service: decoding request: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("service: trailing data after JSON body")
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"thermalsched"
+)
+
+func testServer(t *testing.T, cfg Config) *httptest.Server {
+	t.Helper()
+	engine, err := thermalsched.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(engine, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func post(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// End-to-end: a platform-flow scheduling request over HTTP/JSON.
+func TestServeRunPlatform(t *testing.T) {
+	srv := testServer(t, Config{})
+	resp, body := post(t, srv.URL+"/v1/run",
+		`{"flow":"platform","benchmark":"Bm1","policy":"thermal"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out thermalsched.Response
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decoding response: %v\n%s", err, body)
+	}
+	if out.Flow != thermalsched.FlowPlatform || out.Graph != "Bm1" || out.Policy != "thermal" {
+		t.Errorf("response header wrong: %+v", out)
+	}
+	if out.Metrics == nil || !out.Metrics.Feasible {
+		t.Errorf("expected a feasible Bm1 schedule, got %+v", out.Metrics)
+	}
+	if out.Metrics.MaxTemp <= 45 {
+		t.Errorf("max temp %v not above ambient", out.Metrics.MaxTemp)
+	}
+	if len(out.PerPE) != 4 {
+		t.Errorf("platform response has %d PEs, want 4", len(out.PerPE))
+	}
+}
+
+func TestServeBatch(t *testing.T) {
+	srv := testServer(t, Config{})
+	resp, body := post(t, srv.URL+"/v1/batch",
+		`[{"flow":"platform","benchmark":"Bm1"},{"flow":"platform","benchmark":"Bm2","policy":"h3"}]`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out []thermalsched.Response
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decoding batch: %v", err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("batch returned %d entries", len(out))
+	}
+	for i, r := range out {
+		if r.Error != "" || r.Metrics == nil {
+			t.Errorf("batch entry %d failed: %+v", i, r)
+		}
+	}
+	if out[0].Graph != "Bm1" || out[1].Graph != "Bm2" {
+		t.Errorf("batch order not preserved: %s, %s", out[0].Graph, out[1].Graph)
+	}
+}
+
+func TestServeValidationErrors(t *testing.T) {
+	srv := testServer(t, Config{MaxBatch: 2})
+	cases := []struct {
+		path, body string
+	}{
+		{"/v1/run", `{`},                                                   // malformed JSON
+		{"/v1/run", `{"flow":"warp"}`},                                     // unknown flow
+		{"/v1/run", `{"flow":"platform"}`},                                 // no graph source
+		{"/v1/run", `{"flow":"platform","benchmark":"Bm9"}`},               // unknown benchmark
+		{"/v1/run", `{"flow":"platform","benchmark":"Bm1","bogusKnob":1}`}, // unknown field
+		{"/v1/batch", `[]`},                                                // empty batch
+		{"/v1/batch", `[{"flow":"platform","benchmark":"Bm1"},{"flow":"x","benchmark":"Bm1"}]`},
+		{"/v1/batch", `[{"flow":"platform","benchmark":"Bm1"},{"flow":"platform","benchmark":"Bm2"},{"flow":"platform","benchmark":"Bm3"}]`}, // over MaxBatch
+	}
+	for _, tc := range cases {
+		resp, body := post(t, srv.URL+tc.path, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s %q: status %d, want 400 (%s)", tc.path, tc.body, resp.StatusCode, body)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s %q: missing error envelope: %s", tc.path, tc.body, body)
+		}
+	}
+}
+
+func TestServeHealth(t *testing.T) {
+	srv := testServer(t, Config{})
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var h struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("health status %q", h.Status)
+	}
+}
+
+func TestServeMethodNotAllowed(t *testing.T) {
+	srv := testServer(t, Config{})
+	resp, err := http.Get(srv.URL + "/v1/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/run status %d, want 405", resp.StatusCode)
+	}
+}

@@ -1,0 +1,440 @@
+package thermalsched
+
+import (
+	"fmt"
+	"strings"
+
+	"thermalsched/internal/cosynth"
+	"thermalsched/internal/sched"
+	"thermalsched/internal/taskgraph"
+)
+
+// FlowKind names one of the Engine's execution flows.
+type FlowKind string
+
+// The flows an Engine can run.
+const (
+	// FlowPlatform is the platform-based design flow (paper Fig. 1b):
+	// schedule on the fixed 4-PE platform.
+	FlowPlatform FlowKind = "platform"
+	// FlowCoSynthesis is the co-synthesis flow (paper Fig. 1a):
+	// deadline-driven architecture selection with floorplanning and
+	// thermal extraction in the loop.
+	FlowCoSynthesis FlowKind = "cosynthesis"
+	// FlowSweep is the randomized robustness study: power-aware vs
+	// thermal-aware over many generated graphs.
+	FlowSweep FlowKind = "sweep"
+	// FlowDTM schedules on the platform, replays the schedule in the
+	// discrete-event executor, and drives the transient thermal model
+	// under a dynamic-thermal-management controller.
+	FlowDTM FlowKind = "dtm"
+)
+
+// FlowKinds lists every flow an Engine accepts.
+func FlowKinds() []FlowKind {
+	return []FlowKind{FlowPlatform, FlowCoSynthesis, FlowSweep, FlowDTM}
+}
+
+// TaskSpec is the serializable form of one task-graph node.
+type TaskSpec struct {
+	ID   int    `json:"id"`
+	Name string `json:"name"`
+	Type int    `json:"type"`
+}
+
+// EdgeSpec is the serializable form of one task-graph dependency.
+type EdgeSpec struct {
+	From int     `json:"from"`
+	To   int     `json:"to"`
+	Data float64 `json:"data,omitempty"`
+	Prob float64 `json:"prob,omitempty"`
+}
+
+// GraphSpec is the JSON-serializable form of a task graph, used to ship
+// custom graphs through Request. Use GraphSpecOf/Graph to convert.
+type GraphSpec struct {
+	Name     string     `json:"name"`
+	Deadline float64    `json:"deadline"`
+	Tasks    []TaskSpec `json:"tasks"`
+	Edges    []EdgeSpec `json:"edges,omitempty"`
+}
+
+// GraphSpecOf converts a task graph to its serializable form.
+func GraphSpecOf(g *Graph) *GraphSpec {
+	spec := &GraphSpec{Name: g.Name, Deadline: g.Deadline}
+	for _, t := range g.Tasks() {
+		spec.Tasks = append(spec.Tasks, TaskSpec{ID: t.ID, Name: t.Name, Type: t.Type})
+	}
+	for _, e := range g.Edges() {
+		spec.Edges = append(spec.Edges, EdgeSpec{From: e.From, To: e.To, Data: e.Data, Prob: e.Prob})
+	}
+	return spec
+}
+
+// Graph materializes and validates the task graph described by the spec.
+func (s *GraphSpec) Graph() (*Graph, error) {
+	g := taskgraph.NewGraph(s.Name, s.Deadline)
+	for _, t := range s.Tasks {
+		if err := g.AddTask(taskgraph.Task{ID: t.ID, Name: t.Name, Type: t.Type}); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range s.Edges {
+		if err := g.AddEdge(taskgraph.Edge{From: e.From, To: e.To, Data: e.Data, Prob: e.Prob}); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// DTMSpec parameterizes the FlowDTM run-time study. The zero value uses
+// the documented defaults.
+type DTMSpec struct {
+	// Controller is "toggle" (default) or "pi".
+	Controller string `json:"controller,omitempty"`
+	// TriggerC, Hysteresis and Throttle parameterize the toggle
+	// controller. Defaults: 85 °C trigger, 3 °C hysteresis, 0.4 throttle.
+	TriggerC   float64 `json:"triggerC,omitempty"`
+	Hysteresis float64 `json:"hysteresis,omitempty"`
+	Throttle   float64 `json:"throttle,omitempty"`
+	// SetpointC, Kp, Ki and MinScale parameterize the PI controller.
+	// Defaults: 85 °C setpoint, Kp 0.05, Ki 0.002, MinScale 0.1.
+	SetpointC float64 `json:"setpointC,omitempty"`
+	Kp        float64 `json:"kp,omitempty"`
+	Ki        float64 `json:"ki,omitempty"`
+	MinScale  float64 `json:"minScale,omitempty"`
+	// SampleDT is the power-trace sampling interval in schedule time
+	// units (default 10); TimeScale converts one schedule time unit to
+	// seconds of transient simulation (default 0.1).
+	SampleDT  float64 `json:"sampleDT,omitempty"`
+	TimeScale float64 `json:"timeScale,omitempty"`
+	// Passes loops the schedule's power trace to let the die warm up
+	// (default 4).
+	Passes int `json:"passes,omitempty"`
+	// MinFactor is the executor's execution-time factor lower bound in
+	// (0, 1] (default 1: replay the worst case); SimSeed drives the
+	// per-task factors.
+	MinFactor float64 `json:"minFactor,omitempty"`
+	SimSeed   int64   `json:"simSeed,omitempty"`
+}
+
+func (s *DTMSpec) withDefaults() DTMSpec {
+	out := DTMSpec{}
+	if s != nil {
+		out = *s
+	}
+	if out.Controller == "" {
+		out.Controller = "toggle"
+	}
+	if out.TriggerC == 0 {
+		out.TriggerC = 85
+	}
+	if out.Hysteresis == 0 {
+		out.Hysteresis = 3
+	}
+	if out.Throttle == 0 {
+		out.Throttle = 0.4
+	}
+	if out.SetpointC == 0 {
+		out.SetpointC = 85
+	}
+	if out.Kp == 0 {
+		out.Kp = 0.05
+	}
+	if out.Ki == 0 {
+		out.Ki = 0.002
+	}
+	if out.MinScale == 0 {
+		out.MinScale = 0.1
+	}
+	if out.SampleDT == 0 {
+		out.SampleDT = 10
+	}
+	if out.TimeScale == 0 {
+		out.TimeScale = 0.1
+	}
+	if out.Passes == 0 {
+		out.Passes = 4
+	}
+	if out.MinFactor == 0 {
+		out.MinFactor = 1
+	}
+	return out
+}
+
+// Request is one JSON-serializable unit of work for an Engine. Build it
+// literally, decode it from JSON, or assemble it with NewRequest and the
+// With* functional options. Zero-valued knobs mean "use the calibrated
+// default"; pointer-typed knobs distinguish "unset" from an explicit
+// zero (which is why Seed is a *int64 — an explicit zero seed is valid).
+type Request struct {
+	// Flow selects the execution flow.
+	Flow FlowKind `json:"flow"`
+	// Benchmark names a paper benchmark ("Bm1" … "Bm4"). Exactly one of
+	// Benchmark or Graph must be set, except for FlowSweep which
+	// generates its own graphs.
+	Benchmark string `json:"benchmark,omitempty"`
+	// Graph carries a custom task graph inline.
+	Graph *GraphSpec `json:"graph,omitempty"`
+	// Policy is the ASP variant name as accepted by ParsePolicy
+	// ("baseline", "h1" … "h3", "thermal"). Empty means "thermal".
+	Policy string `json:"policy,omitempty"`
+
+	// BusTimePerUnit overrides the shared-bus communication rate; zero
+	// means the experiments' default.
+	BusTimePerUnit float64 `json:"busTimePerUnit,omitempty"`
+	// TempWeight, PowerWeight, EnergyWeight and ThermalHorizon override
+	// the corresponding scheduler calibration knobs; nil keeps the
+	// calibrated defaults.
+	TempWeight     *float64 `json:"tempWeight,omitempty"`
+	PowerWeight    *float64 `json:"powerWeight,omitempty"`
+	EnergyWeight   *float64 `json:"energyWeight,omitempty"`
+	ThermalHorizon *float64 `json:"thermalHorizon,omitempty"`
+
+	// MaxPEs, CandidateTypes and FloorplanGenerations tune FlowCoSynthesis.
+	MaxPEs               int      `json:"maxPEs,omitempty"`
+	CandidateTypes       []string `json:"candidateTypes,omitempty"`
+	FloorplanGenerations int      `json:"floorplanGenerations,omitempty"`
+	// Seed drives the GA floorplanner (FlowCoSynthesis) or the graph
+	// generator (FlowSweep). Nil keeps the historical default (1); an
+	// explicit zero is honored as seed 0.
+	Seed *int64 `json:"seed,omitempty"`
+
+	// SweepCount is the number of random graphs FlowSweep evaluates
+	// (default 4).
+	SweepCount int `json:"sweepCount,omitempty"`
+
+	// DTM tunes FlowDTM; nil uses the defaults documented on DTMSpec.
+	DTM *DTMSpec `json:"dtm,omitempty"`
+
+	// IncludeGantt asks for the schedule's per-PE timeline in
+	// Response.Gantt (platform and cosynthesis flows).
+	IncludeGantt bool `json:"includeGantt,omitempty"`
+}
+
+// RequestOption mutates a Request under construction; see NewRequest.
+type RequestOption func(*Request)
+
+// NewRequest assembles a Request for a flow from functional options.
+func NewRequest(flow FlowKind, opts ...RequestOption) Request {
+	req := Request{Flow: flow}
+	for _, o := range opts {
+		o(&req)
+	}
+	return req
+}
+
+// WithBenchmark selects a paper benchmark ("Bm1" … "Bm4") as the input.
+func WithBenchmark(name string) RequestOption {
+	return func(r *Request) { r.Benchmark = name }
+}
+
+// WithGraph ships a custom task graph with the request.
+func WithGraph(g *Graph) RequestOption {
+	return func(r *Request) { r.Graph = GraphSpecOf(g) }
+}
+
+// WithGraphSpec ships an already-serialized task graph.
+func WithGraphSpec(spec *GraphSpec) RequestOption {
+	return func(r *Request) { r.Graph = spec }
+}
+
+// WithPolicy selects the ASP variant.
+func WithPolicy(p Policy) RequestOption {
+	return func(r *Request) { r.Policy = p.String() }
+}
+
+// WithBusTimePerUnit overrides the shared-bus communication rate.
+func WithBusTimePerUnit(rate float64) RequestOption {
+	return func(r *Request) { r.BusTimePerUnit = rate }
+}
+
+// WithTempWeight overrides the thermal-aware ASP's °C-to-time weight.
+func WithTempWeight(w float64) RequestOption {
+	return func(r *Request) { r.TempWeight = &w }
+}
+
+// WithPowerWeight overrides the W-to-time weight of heuristics 1 and 2.
+func WithPowerWeight(w float64) RequestOption {
+	return func(r *Request) { r.PowerWeight = &w }
+}
+
+// WithEnergyWeight overrides heuristic 3's energy-to-time weight.
+func WithEnergyWeight(w float64) RequestOption {
+	return func(r *Request) { r.EnergyWeight = &w }
+}
+
+// WithThermalHorizon overrides the thermal inquiry accumulation window.
+func WithThermalHorizon(h float64) RequestOption {
+	return func(r *Request) { r.ThermalHorizon = &h }
+}
+
+// WithSeed fixes the run's seed. Unlike the legacy config structs, an
+// explicit zero is honored rather than silently rewritten to 1.
+func WithSeed(seed int64) RequestOption {
+	return func(r *Request) { r.Seed = &seed }
+}
+
+// WithMaxPEs caps the co-synthesized architecture size.
+func WithMaxPEs(n int) RequestOption {
+	return func(r *Request) { r.MaxPEs = n }
+}
+
+// WithCandidateTypes restricts the PE types co-synthesis may instantiate.
+func WithCandidateTypes(names ...string) RequestOption {
+	return func(r *Request) { r.CandidateTypes = names }
+}
+
+// WithFloorplanGenerations sizes the GA floorplanner effort per
+// candidate architecture.
+func WithFloorplanGenerations(n int) RequestOption {
+	return func(r *Request) { r.FloorplanGenerations = n }
+}
+
+// WithSweepCount sets how many random graphs FlowSweep evaluates.
+func WithSweepCount(n int) RequestOption {
+	return func(r *Request) { r.SweepCount = n }
+}
+
+// WithDTM tunes the FlowDTM controller and simulation.
+func WithDTM(spec DTMSpec) RequestOption {
+	return func(r *Request) { r.DTM = &spec }
+}
+
+// WithGantt asks for the schedule's per-PE timeline in the response.
+func WithGantt() RequestOption {
+	return func(r *Request) { r.IncludeGantt = true }
+}
+
+// policy resolves the request's policy name (empty means ThermalAware).
+func (r *Request) policy() (Policy, error) {
+	if r.Policy == "" {
+		return ThermalAware, nil
+	}
+	return sched.ParsePolicy(r.Policy)
+}
+
+// Validate reports the first problem that makes the request unrunnable.
+// The Engine validates every request; services should call this before
+// accepting work so malformed requests fail fast with a clear message.
+func (r *Request) Validate() error {
+	switch r.Flow {
+	case FlowPlatform, FlowCoSynthesis, FlowSweep, FlowDTM:
+	case "":
+		return fmt.Errorf("thermalsched: request missing flow (want one of %v)", FlowKinds())
+	default:
+		return fmt.Errorf("thermalsched: unknown flow %q (want one of %v)", r.Flow, FlowKinds())
+	}
+	if _, err := r.policy(); err != nil {
+		return err
+	}
+	if r.Flow == FlowSweep {
+		if r.Benchmark != "" || r.Graph != nil {
+			return fmt.Errorf("thermalsched: sweep requests generate their own graphs; remove benchmark/graph")
+		}
+		if r.SweepCount < 0 {
+			return fmt.Errorf("thermalsched: negative sweep count %d", r.SweepCount)
+		}
+	} else {
+		switch {
+		case r.Benchmark == "" && r.Graph == nil:
+			return fmt.Errorf("thermalsched: request needs a benchmark name or an inline graph")
+		case r.Benchmark != "" && r.Graph != nil:
+			return fmt.Errorf("thermalsched: set either benchmark or graph, not both")
+		}
+	}
+	if r.Benchmark != "" {
+		known := taskgraph.BenchmarkNames()
+		found := false
+		for _, n := range known {
+			if n == r.Benchmark {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("thermalsched: unknown benchmark %q (want one of %s)",
+				r.Benchmark, strings.Join(known, ", "))
+		}
+	}
+	if r.BusTimePerUnit < 0 {
+		return fmt.Errorf("thermalsched: negative bus rate %g", r.BusTimePerUnit)
+	}
+	if r.MaxPEs < 0 {
+		return fmt.Errorf("thermalsched: negative MaxPEs %d", r.MaxPEs)
+	}
+	if r.FloorplanGenerations < 0 {
+		return fmt.Errorf("thermalsched: negative floorplan generations %d", r.FloorplanGenerations)
+	}
+	if r.DTM != nil && r.Flow != FlowDTM {
+		return fmt.Errorf("thermalsched: dtm parameters on a %q request", r.Flow)
+	}
+	if r.DTM != nil {
+		switch r.DTM.Controller {
+		case "", "toggle", "pi":
+		default:
+			return fmt.Errorf("thermalsched: unknown DTM controller %q (want toggle or pi)", r.DTM.Controller)
+		}
+	}
+	return nil
+}
+
+// schedOverrides reports whether any scheduler knob is set and builds
+// the resulting configuration for the policy.
+func (r *Request) schedOverrides(p Policy) *SchedConfig {
+	if r.TempWeight == nil && r.PowerWeight == nil && r.EnergyWeight == nil && r.ThermalHorizon == nil {
+		return nil
+	}
+	sc := sched.DefaultConfig(p)
+	if r.TempWeight != nil {
+		sc.TempWeight = *r.TempWeight
+	}
+	if r.PowerWeight != nil {
+		sc.PowerWeight = *r.PowerWeight
+	}
+	if r.EnergyWeight != nil {
+		sc.EnergyWeight = *r.EnergyWeight
+	}
+	if r.ThermalHorizon != nil {
+		sc.ThermalHorizon = *r.ThermalHorizon
+	}
+	return &sc
+}
+
+// platformConfig lowers the request to the platform flow's configuration.
+func (r *Request) platformConfig() (cosynth.PlatformConfig, error) {
+	p, err := r.policy()
+	if err != nil {
+		return cosynth.PlatformConfig{}, err
+	}
+	return cosynth.PlatformConfig{
+		Policy:         p,
+		Sched:          r.schedOverrides(p),
+		BusTimePerUnit: r.BusTimePerUnit,
+	}, nil
+}
+
+// cosynthConfig lowers the request to the co-synthesis flow's
+// configuration.
+func (r *Request) cosynthConfig() (cosynth.CoSynthConfig, error) {
+	p, err := r.policy()
+	if err != nil {
+		return cosynth.CoSynthConfig{}, err
+	}
+	cfg := cosynth.CoSynthConfig{
+		Policy:               p,
+		Sched:                r.schedOverrides(p),
+		CandidateTypes:       r.CandidateTypes,
+		MaxPEs:               r.MaxPEs,
+		BusTimePerUnit:       r.BusTimePerUnit,
+		FloorplanGenerations: r.FloorplanGenerations,
+	}
+	if r.Seed != nil {
+		cfg.Seed = *r.Seed
+		cfg.SeedSet = true
+	}
+	return cfg, nil
+}

@@ -1,0 +1,120 @@
+package thermalsched
+
+import (
+	"strings"
+
+	"thermalsched/internal/cosynth"
+	"thermalsched/internal/dtm"
+)
+
+// PEInfo describes one processing element of a response's architecture.
+type PEInfo struct {
+	Name    string  `json:"name"`
+	Type    string  `json:"type"`
+	AreaMM2 float64 `json:"areaMM2"`
+	Cost    float64 `json:"cost"`
+}
+
+// PEStat is one processing element's steady-state operating point.
+type PEStat struct {
+	Name   string  `json:"name"`
+	PowerW float64 `json:"powerW"`
+	TempC  float64 `json:"tempC"`
+}
+
+// DTMReport summarizes a FlowDTM transient run.
+type DTMReport struct {
+	Controller        string  `json:"controller"`
+	Steps             int     `json:"steps"`
+	PeakTempC         float64 `json:"peakTempC"`
+	ThrottledFraction float64 `json:"throttledFraction"`
+	EnergyDelivered   float64 `json:"energyDelivered"`
+	EnergyRequested   float64 `json:"energyRequested"`
+	// Slowdown is the fraction of requested energy denied by
+	// throttling — a proxy for the execution-time penalty of DTM.
+	Slowdown float64 `json:"slowdown"`
+}
+
+// Response is the JSON-serializable outcome of one Engine request. The
+// CLI's -json mode and the thermschedd service emit exactly this schema.
+type Response struct {
+	// Flow and Policy echo the resolved request; Graph names the input
+	// task graph.
+	Flow   FlowKind `json:"flow"`
+	Graph  string   `json:"graph,omitempty"`
+	Policy string   `json:"policy,omitempty"`
+	// Metrics are the paper's table columns (platform, cosynthesis and
+	// dtm flows).
+	Metrics *FlowMetrics `json:"metrics,omitempty"`
+	// Architecture lists the scheduled PEs; PerPE their steady-state
+	// power and temperature.
+	Architecture []PEInfo `json:"architecture,omitempty"`
+	PerPE        []PEStat `json:"perPE,omitempty"`
+	// Floorplan is the layout in HotSpot .flp text form (cosynthesis).
+	Floorplan string `json:"floorplan,omitempty"`
+	// Gantt is the per-PE timeline, present when the request asked for it.
+	Gantt string `json:"gantt,omitempty"`
+	// Sweep carries the FlowSweep aggregate.
+	Sweep *SweepResult `json:"sweep,omitempty"`
+	// DTM carries the FlowDTM transient summary.
+	DTM *DTMReport `json:"dtm,omitempty"`
+	// ElapsedMS is the server-side wall-clock cost of the run.
+	ElapsedMS float64 `json:"elapsedMs"`
+	// Error is set instead of the payload fields when a batch entry or
+	// service call fails; Engine.Run itself returns Go errors.
+	Error string `json:"error,omitempty"`
+}
+
+// flowResponse assembles the shared parts of a platform/cosynthesis/dtm
+// response from a flow result.
+func flowResponse(flow FlowKind, policy Policy, res *cosynth.Result, includeGantt, includePlan bool) (*Response, error) {
+	resp := &Response{
+		Flow:    flow,
+		Graph:   res.Schedule.Graph.Name,
+		Policy:  policy.String(),
+		Metrics: &res.Metrics,
+	}
+	lib := res.Schedule.Lib
+	for _, pe := range res.Arch.PEs {
+		t := lib.PEType(pe.Type)
+		resp.Architecture = append(resp.Architecture, PEInfo{
+			Name: pe.Name, Type: t.Name, AreaMM2: t.Area * 1e6, Cost: t.Cost,
+		})
+	}
+	pow, err := res.Schedule.PEAveragePower(res.Schedule.Graph.Deadline)
+	if err != nil {
+		return nil, err
+	}
+	temps, err := res.Oracle.Temps(pow)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range res.Arch.PENames() {
+		t, _ := temps.Of(name)
+		resp.PerPE = append(resp.PerPE, PEStat{Name: name, PowerW: pow[i], TempC: t})
+	}
+	if includePlan {
+		var b strings.Builder
+		if err := res.Plan.Write(&b); err != nil {
+			return nil, err
+		}
+		resp.Floorplan = b.String()
+	}
+	if includeGantt {
+		resp.Gantt = res.Schedule.Gantt()
+	}
+	return resp, nil
+}
+
+// dtmReport converts a controller run into the response summary.
+func dtmReport(controller string, r *dtm.RunResult) *DTMReport {
+	return &DTMReport{
+		Controller:        controller,
+		Steps:             r.Steps,
+		PeakTempC:         r.PeakTemp,
+		ThrottledFraction: r.ThrottledFraction,
+		EnergyDelivered:   r.EnergyDelivered,
+		EnergyRequested:   r.EnergyRequested,
+		Slowdown:          r.Slowdown(),
+	}
+}

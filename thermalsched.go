@@ -7,6 +7,28 @@
 // and a hardware/software co-synthesis flow with a thermal-aware
 // genetic-algorithm floorplanner.
 //
+// The primary API is the Engine: construct one with NewEngine, keep it
+// for the life of the process, and feed it JSON-serializable Requests.
+// The Engine owns the technology library, the parsed paper benchmarks
+// and a cache of thermal-model factorizations, threads context
+// cancellation into every hot loop, and fans batches out across a
+// bounded worker pool:
+//
+//	eng, _ := thermalsched.NewEngine()
+//	resp, _ := eng.Run(ctx, thermalsched.NewRequest(
+//		thermalsched.FlowPlatform,
+//		thermalsched.WithBenchmark("Bm1"),
+//		thermalsched.WithPolicy(thermalsched.ThermalAware),
+//	))
+//	fmt.Printf("peak %.1f °C\n", resp.Metrics.MaxTemp)
+//
+// Engine.Platform and Engine.CoSynthesize are the typed counterparts
+// returning full FlowResults (schedule, floorplan, thermal model), and
+// cmd/thermschedd serves Engine.Run over HTTP/JSON. The package-level
+// RunPlatform/RunCoSynthesis/RunSweep functions predate the Engine;
+// they remain as thin deprecated wrappers over a shared default Engine
+// and return results identical to earlier releases.
+//
 // This package is the public facade over the implementation packages:
 //
 //	internal/taskgraph   task graphs, TGFF-like generator, paper benchmarks
@@ -17,16 +39,12 @@
 //	internal/power       power profiles, traces, leakage feedback
 //	internal/cosynth     the two flows of the paper's Figure 1
 //	internal/experiments reproduction of Tables 1–3
-//
-// Quick start:
-//
-//	lib, _ := thermalsched.StandardLibrary()
-//	g, _ := thermalsched.Benchmark("Bm1")
-//	res, _ := thermalsched.RunPlatform(g, lib, thermalsched.ThermalAware)
-//	fmt.Printf("peak %.1f °C\n", res.Metrics.MaxTemp)
+//	internal/service     request validation/routing for cmd/thermschedd
 package thermalsched
 
 import (
+	"context"
+
 	"thermalsched/internal/cosynth"
 	"thermalsched/internal/dtm"
 	"thermalsched/internal/experiments"
@@ -108,9 +126,15 @@ func ParsePolicy(s string) (Policy, error) { return sched.ParsePolicy(s) }
 func Policies() []Policy { return sched.Policies() }
 
 // AllocateAndSchedule runs the ASP directly on an explicit architecture.
-// Most callers want RunPlatform or RunCoSynthesis instead.
+// Most callers want Engine.Run or Engine.Platform instead.
 func AllocateAndSchedule(g *Graph, arch Architecture, lib *Library, cfg SchedConfig) (*Schedule, error) {
 	return sched.AllocateAndSchedule(g, arch, lib, cfg)
+}
+
+// AllocateAndScheduleCtx is AllocateAndSchedule with cancellation
+// threaded into the ASP's greedy loop.
+func AllocateAndScheduleCtx(ctx context.Context, g *Graph, arch Architecture, lib *Library, cfg SchedConfig) (*Schedule, error) {
+	return sched.AllocateAndScheduleCtx(ctx, g, arch, lib, cfg)
 }
 
 // Thermal model types.
@@ -157,24 +181,44 @@ type (
 
 // RunPlatform schedules g on the paper's fixed platform of four
 // identical PEs under the given policy (Fig. 1b).
+//
+// Deprecated: use Engine.Run with FlowPlatform or Engine.Platform. This
+// wrapper runs on the shared DefaultEngine and returns metrics
+// identical to earlier releases.
 func RunPlatform(g *Graph, lib *Library, policy Policy) (*FlowResult, error) {
-	return cosynth.RunPlatform(g, lib, cosynth.PlatformConfig{Policy: policy})
+	return RunPlatformConfig(g, lib, PlatformConfig{Policy: policy})
 }
 
 // RunPlatformConfig is RunPlatform with full configuration control.
+//
+// Deprecated: use Engine.Run with FlowPlatform or Engine.Platform.
 func RunPlatformConfig(g *Graph, lib *Library, cfg PlatformConfig) (*FlowResult, error) {
-	return cosynth.RunPlatform(g, lib, cfg)
+	e, err := DefaultEngine()
+	if err != nil {
+		return nil, err
+	}
+	return e.platform(context.Background(), g, lib, cfg)
 }
 
 // RunCoSynthesis runs the co-synthesis flow (Fig. 1a): deadline-driven
 // PE selection with floorplanning and thermal extraction in the loop.
+//
+// Deprecated: use Engine.Run with FlowCoSynthesis or
+// Engine.CoSynthesize. This wrapper runs on the shared DefaultEngine
+// and returns metrics identical to earlier releases.
 func RunCoSynthesis(g *Graph, lib *Library, policy Policy) (*FlowResult, error) {
-	return cosynth.RunCoSynthesis(g, lib, cosynth.CoSynthConfig{Policy: policy})
+	return RunCoSynthesisConfig(g, lib, CoSynthConfig{Policy: policy})
 }
 
 // RunCoSynthesisConfig is RunCoSynthesis with full configuration control.
+//
+// Deprecated: use Engine.Run with FlowCoSynthesis or Engine.CoSynthesize.
 func RunCoSynthesisConfig(g *Graph, lib *Library, cfg CoSynthConfig) (*FlowResult, error) {
-	return cosynth.RunCoSynthesis(g, lib, cfg)
+	e, err := DefaultEngine()
+	if err != nil {
+		return nil, err
+	}
+	return e.cosynthesize(context.Background(), g, lib, cfg)
 }
 
 // Power-domain types.
@@ -246,6 +290,15 @@ type SweepResult = experiments.SweepResult
 
 // RunSweep compares the power-aware and thermal-aware ASPs over count
 // random task graphs on the platform flow.
+//
+// Deprecated: use Engine.Run with FlowSweep or Engine.Sweep. This
+// wrapper runs on the shared DefaultEngine's model cache and returns
+// results identical to earlier releases.
 func RunSweep(lib *Library, count int, seed int64) (*SweepResult, error) {
-	return experiments.RunSweep(lib, count, seed)
+	e, err := DefaultEngine()
+	if err != nil {
+		return nil, err
+	}
+	return experiments.RunSweepWith(context.Background(), lib, count, seed,
+		cosynth.PlatformConfig{Models: e.modelProvider()})
 }
