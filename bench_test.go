@@ -379,6 +379,8 @@ func BenchmarkSimExecute(b *testing.B) {
 
 // Micro-benchmarks for the substrates.
 
+// BenchmarkHotSpotSteadyState measures the thermal-inquiry fast path:
+// one influence-matrix row product per block, zero allocations.
 func BenchmarkHotSpotSteadyState(b *testing.B) {
 	fp, err := floorplan.Grid("b", 16, 4e-6)
 	if err != nil {
@@ -392,9 +394,38 @@ func BenchmarkHotSpotSteadyState(b *testing.B) {
 	for i := range p {
 		p[i] = float64(i%4) + 1
 	}
+	dst := make([]float64, 16)
+	if err := m.SteadyStateInto(dst, p); err != nil { // build the influence matrix outside the timer
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.SteadyStateVec(p); err != nil {
+		if err := m.SteadyStateInto(dst, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHotSpotSteadyStateDirect is the reference full-solve path
+// the fast path replaced; kept so the speedup stays measurable.
+func BenchmarkHotSpotSteadyStateDirect(b *testing.B) {
+	fp, err := floorplan.Grid("b", 16, 4e-6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := hotspot.NewModel(fp, hotspot.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := make([]float64, 16)
+	for i := range p {
+		p[i] = float64(i%4) + 1
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.SteadyStateDirect(p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -430,9 +461,11 @@ func BenchmarkHotSpotTransientStep(b *testing.B) {
 	for i := range p {
 		p[i] = 2
 	}
+	dst := make([]float64, 16)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := tr.StepVec(p); err != nil {
+		if err := tr.StepVecInto(dst, p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -458,6 +491,7 @@ func BenchmarkSchedulerPolicies(b *testing.B) {
 			if p == sched.ThermalAware {
 				cfg.Oracle = oracle
 			}
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := sched.AllocateAndSchedule(g, arch, lib, cfg); err != nil {
 					b.Fatal(err)

@@ -439,7 +439,10 @@ func modelKey(fp *floorplan.Floorplan, cfg hotspot.Config) string {
 
 // modelCache is a mutex-guarded LRU of thermal models. Models are safe
 // for concurrent read-only use, so one cached instance can serve many
-// RunBatch workers at once.
+// RunBatch workers at once. A cache hit reuses not only the Cholesky
+// factorization but also the model's lazily-built influence matrix —
+// the steady-state fast path every thermal inquiry rides — so repeated
+// thermal flows over one floorplan pay for both exactly once.
 type modelCache struct {
 	mu     sync.Mutex
 	cap    int

@@ -322,3 +322,34 @@ func TestEngineGanttIncluded(t *testing.T) {
 		t.Error("unrequested gantt present in response")
 	}
 }
+
+// Concurrent thermal runs share one cached model, and with it one
+// lazily-built influence matrix (the steady-state fast path): the
+// results must match a sequential run exactly.
+func TestEngineConcurrentThermalRunsShareModel(t *testing.T) {
+	e := testEngine(t)
+	req := NewRequest(FlowPlatform, WithBenchmark("Bm2"), WithPolicy(ThermalAware))
+	want, err := e.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := make([]Request, 8)
+	for i := range reqs {
+		reqs[i] = req
+	}
+	out, err := e.RunBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, resp := range out {
+		if resp.Error != "" {
+			t.Fatalf("batch entry %d failed: %s", i, resp.Error)
+		}
+		if !reflect.DeepEqual(resp.Metrics, want.Metrics) {
+			t.Errorf("batch entry %d metrics %+v, want %+v", i, resp.Metrics, want.Metrics)
+		}
+	}
+	if _, misses, _ := e.ModelCacheStats(); misses != 1 {
+		t.Errorf("concurrent thermal runs built the model %d times, want 1", misses)
+	}
+}

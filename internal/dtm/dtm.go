@@ -26,13 +26,35 @@ import (
 )
 
 // Controller scales each PE's requested power based on observed block
-// temperatures. Scale returns per-PE multipliers in [0, 1].
+// temperatures, writing per-block multipliers in [0, 1] into a
+// caller-supplied slice.
+//
+// Resize contract: a controller sizes its per-block state on the first
+// ScaleInto call after construction or Reset. A later call with a
+// different block count is an error — silently resizing would discard
+// throttle/integral state mid-run. Call Reset to start a run with a new
+// block count.
 type Controller interface {
-	// Scale inspects the current block temperatures (°C, indexed like
-	// the model's blocks) and returns per-block power multipliers.
-	Scale(temps []float64) []float64
+	// ScaleInto inspects the current block temperatures (°C, indexed
+	// like the model's blocks) and writes per-block power multipliers
+	// into out (same length as temps). It must not allocate on the
+	// steady path.
+	ScaleInto(out, temps []float64) error
 	// Reset clears controller state between runs.
 	Reset()
+}
+
+// scaleBuffers validates the out/temps pair and the controller's
+// per-block state size (shared by both controllers' ScaleInto).
+func scaleBuffers(out, temps []float64, state int) error {
+	if len(out) != len(temps) {
+		return fmt.Errorf("dtm: scale buffer has %d blocks for %d temperatures", len(out), len(temps))
+	}
+	if state >= 0 && state != len(temps) {
+		return fmt.Errorf("dtm: block count changed mid-run from %d to %d (Reset between runs)",
+			state, len(temps))
+	}
+	return nil
 }
 
 // ToggleController is threshold-triggered throttling with hysteresis.
@@ -56,12 +78,18 @@ func NewToggleController(triggerC, hysteresis, throttle float64) (*ToggleControl
 	return &ToggleController{TriggerC: triggerC, Hysteresis: hysteresis, Throttle: throttle}, nil
 }
 
-// Scale implements Controller.
-func (c *ToggleController) Scale(temps []float64) []float64 {
-	if len(c.throttled) != len(temps) {
+// ScaleInto implements Controller.
+func (c *ToggleController) ScaleInto(out, temps []float64) error {
+	state := -1
+	if c.throttled != nil {
+		state = len(c.throttled)
+	}
+	if err := scaleBuffers(out, temps, state); err != nil {
+		return err
+	}
+	if c.throttled == nil {
 		c.throttled = make([]bool, len(temps))
 	}
-	out := make([]float64, len(temps))
 	for i, t := range temps {
 		switch {
 		case t >= c.TriggerC:
@@ -75,7 +103,16 @@ func (c *ToggleController) Scale(temps []float64) []float64 {
 			out[i] = 1
 		}
 	}
-	return out
+	return nil
+}
+
+// Scale is the allocating convenience form of ScaleInto.
+func (c *ToggleController) Scale(temps []float64) ([]float64, error) {
+	out := make([]float64, len(temps))
+	if err := c.ScaleInto(out, temps); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Reset implements Controller.
@@ -102,12 +139,18 @@ func NewPIController(setpointC, kp, ki, minScale float64) (*PIController, error)
 	return &PIController{SetpointC: setpointC, Kp: kp, Ki: ki, MinScale: minScale}, nil
 }
 
-// Scale implements Controller.
-func (c *PIController) Scale(temps []float64) []float64 {
-	if len(c.integral) != len(temps) {
+// ScaleInto implements Controller.
+func (c *PIController) ScaleInto(out, temps []float64) error {
+	state := -1
+	if c.integral != nil {
+		state = len(c.integral)
+	}
+	if err := scaleBuffers(out, temps, state); err != nil {
+		return err
+	}
+	if c.integral == nil {
 		c.integral = make([]float64, len(temps))
 	}
-	out := make([]float64, len(temps))
 	for i, t := range temps {
 		err := t - c.SetpointC // positive when too hot
 		if err > 0 {
@@ -125,7 +168,16 @@ func (c *PIController) Scale(temps []float64) []float64 {
 		}
 		out[i] = scale
 	}
-	return out
+	return nil
+}
+
+// Scale is the allocating convenience form of ScaleInto.
+func (c *PIController) Scale(temps []float64) ([]float64, error) {
+	out := make([]float64, len(temps))
+	if err := c.ScaleInto(out, temps); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Reset implements Controller.
@@ -164,6 +216,7 @@ func (r RunResult) Slowdown() float64 {
 // model block order, one per step) under the controller. The controller
 // observes the temperatures after each step and its scales apply to the
 // next step's power — a one-step sensing delay, as in a real DTM loop.
+// The loop reuses fixed scratch buffers, so a step allocates nothing.
 func Run(model *hotspot.Model, ctrl Controller, samples [][]float64, dt float64) (*RunResult, error) {
 	if ctrl == nil {
 		return nil, fmt.Errorf("dtm: nil controller")
@@ -180,6 +233,7 @@ func Run(model *hotspot.Model, ctrl Controller, samples [][]float64, dt float64)
 	}
 	res := &RunResult{}
 	scaled := make([]float64, n)
+	temps := make([]float64, n)
 	for step, p := range samples {
 		if len(p) != n {
 			return nil, fmt.Errorf("dtm: sample %d has %d blocks, want %d", step, len(p), n)
@@ -194,14 +248,17 @@ func Run(model *hotspot.Model, ctrl Controller, samples [][]float64, dt float64)
 			}
 		}
 		res.ThrottledFraction += float64(throttledBlocks) / float64(n)
-		temps, err := tr.StepVec(scaled)
-		if err != nil {
+		if err := tr.StepVecInto(temps, scaled); err != nil {
 			return nil, err
 		}
-		if m := temps.Max(); m > res.PeakTemp {
-			res.PeakTemp = m
+		for _, t := range temps {
+			if t > res.PeakTemp {
+				res.PeakTemp = t
+			}
 		}
-		scale = ctrl.Scale(temps.Values())
+		if err := ctrl.ScaleInto(scale, temps); err != nil {
+			return nil, err
+		}
 		res.Steps++
 	}
 	if res.Steps > 0 {

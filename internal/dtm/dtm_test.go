@@ -98,15 +98,24 @@ func TestToggleHysteresisPreventsFlapping(t *testing.T) {
 	}
 	// Cross the trigger, then sit inside the hysteresis band: the
 	// controller must stay throttled at 78 °C (above 80−5).
-	s1 := ctrl.Scale([]float64{85})
+	s1, err := ctrl.Scale([]float64{85})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s1[0] != 0.5 {
 		t.Fatalf("should throttle at 85: %v", s1)
 	}
-	s2 := ctrl.Scale([]float64{78})
+	s2, err := ctrl.Scale([]float64{78})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s2[0] != 0.5 {
 		t.Errorf("should stay throttled inside the band: %v", s2)
 	}
-	s3 := ctrl.Scale([]float64{74})
+	s3, err := ctrl.Scale([]float64{74})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s3[0] != 1 {
 		t.Errorf("should release below the band: %v", s3)
 	}
@@ -137,7 +146,10 @@ func TestPIControllerIdleBelowSetpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := ctrl.Scale([]float64{50, 60})
+	s, err := ctrl.Scale([]float64{50, 60})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, v := range s {
 		if v != 1 {
 			t.Errorf("scale[%d] = %v below setpoint, want 1", i, v)
@@ -168,16 +180,26 @@ func TestRunValidation(t *testing.T) {
 
 func TestControllerResetClearsState(t *testing.T) {
 	ctrl, _ := NewToggleController(80, 5, 0.5)
-	ctrl.Scale([]float64{100}) // throttle
+	if _, err := ctrl.Scale([]float64{100}); err != nil { // throttle
+		t.Fatal(err)
+	}
 	ctrl.Reset()
-	s := ctrl.Scale([]float64{78})
+	s, err := ctrl.Scale([]float64{78})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s[0] != 1 {
 		t.Errorf("after Reset, 78 °C should not be throttled: %v", s)
 	}
 	pi, _ := NewPIController(80, 0.05, 0.01, 0.1)
-	pi.Scale([]float64{120})
+	if _, err := pi.Scale([]float64{120}); err != nil {
+		t.Fatal(err)
+	}
 	pi.Reset()
-	s = pi.Scale([]float64{70})
+	s, err = pi.Scale([]float64{70})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if s[0] != 1 {
 		t.Errorf("after Reset, PI below setpoint should be 1: %v", s)
 	}
@@ -219,12 +241,84 @@ func TestBalancedLoadThrottlesLess(t *testing.T) {
 // noopController never throttles (reference runs).
 type noopController struct{}
 
-func (noopController) Scale(temps []float64) []float64 {
-	out := make([]float64, len(temps))
+func (noopController) ScaleInto(out, temps []float64) error {
 	for i := range out {
 		out[i] = 1
 	}
-	return out
+	return nil
 }
 
 func (noopController) Reset() {}
+
+// Controllers size their per-block state on first use; a mid-run block
+// count change must be an explicit error, not a silent state discard.
+func TestControllerRejectsMidRunResize(t *testing.T) {
+	toggle, err := NewToggleController(80, 5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out4 := make([]float64, 4)
+	if err := toggle.ScaleInto(out4, []float64{85, 70, 70, 70}); err != nil {
+		t.Fatal(err)
+	}
+	if err := toggle.ScaleInto(make([]float64, 2), []float64{70, 70}); err == nil {
+		t.Error("toggle accepted a block count change mid-run")
+	}
+	// The explicit contract: Reset starts a run with a new size.
+	toggle.Reset()
+	if err := toggle.ScaleInto(make([]float64, 2), []float64{70, 70}); err != nil {
+		t.Errorf("toggle rejected new size after Reset: %v", err)
+	}
+
+	pi, err := NewPIController(82, 0.08, 0.004, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pi.ScaleInto(out4, []float64{85, 70, 70, 70}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pi.ScaleInto(make([]float64, 2), []float64{70, 70}); err == nil {
+		t.Error("PI accepted a block count change mid-run")
+	}
+	pi.Reset()
+	if err := pi.ScaleInto(make([]float64, 2), []float64{70, 70}); err != nil {
+		t.Errorf("PI rejected new size after Reset: %v", err)
+	}
+	// Mismatched out/temps lengths are caught for both.
+	if err := toggle.ScaleInto(make([]float64, 3), []float64{70, 70}); err == nil {
+		t.Error("toggle accepted out/temps length mismatch")
+	}
+}
+
+func TestScaleIntoZeroAllocs(t *testing.T) {
+	toggle, err := NewToggleController(80, 5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := NewPIController(82, 0.08, 0.004, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, 4)
+	temps := []float64{85, 75, 70, 90}
+	if err := toggle.ScaleInto(out, temps); err != nil { // size the state
+		t.Fatal(err)
+	}
+	if err := pi.ScaleInto(out, temps); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if err := toggle.ScaleInto(out, temps); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("ToggleController.ScaleInto allocates %v per run", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if err := pi.ScaleInto(out, temps); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("PIController.ScaleInto allocates %v per run", n)
+	}
+}

@@ -1,0 +1,111 @@
+package hotspot
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"thermalsched/internal/floorplan"
+)
+
+// The influence-matrix fast path must reproduce the direct Cholesky
+// solve: same linear system, different evaluation order.
+func TestInfluenceFastPathMatchesDirect(t *testing.T) {
+	fp, err := floorplan.Grid("b", 16, 4e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(fp, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := make([]float64, m.NumBlocks())
+		for i := range p {
+			p[i] = rng.Float64() * 12
+		}
+		fast, err1 := m.SteadyStateVec(p)
+		direct, err2 := m.SteadyStateDirect(p)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		fv, dv := fast.Values(), direct.Values()
+		for i := range fv {
+			if math.Abs(fv[i]-dv[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSteadyStateIntoZeroAllocs(t *testing.T) {
+	m := model4(t)
+	p := []float64{8, 2, 0, 4}
+	dst := make([]float64, m.NumBlocks())
+	if err := m.SteadyStateInto(dst, p); err != nil { // warm the influence cache
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if err := m.SteadyStateInto(dst, p); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("SteadyStateInto allocates %v per run", n)
+	}
+}
+
+func TestSteadyStateIntoValidation(t *testing.T) {
+	m := model4(t)
+	dst := make([]float64, m.NumBlocks())
+	if err := m.SteadyStateInto(dst, []float64{1}); err == nil {
+		t.Error("short power vector accepted")
+	}
+	if err := m.SteadyStateInto(dst[:2], []float64{1, 1, 1, 1}); err == nil {
+		t.Error("short dst accepted")
+	}
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := m.SteadyStateInto(dst, []float64{bad, 0, 0, 0}); err == nil {
+			t.Errorf("invalid power %v accepted", bad)
+		}
+	}
+}
+
+// The influence matrix is (G⁻¹) restricted to block nodes; G is
+// symmetric, so the restriction must be too.
+func TestInfluenceRowSymmetric(t *testing.T) {
+	m := model4(t)
+	n := m.NumBlocks()
+	for i := 0; i < n; i++ {
+		ri, err := m.InfluenceRow(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ri) != n {
+			t.Fatalf("row %d has %d entries, want %d", i, len(ri), n)
+		}
+		for j := 0; j < n; j++ {
+			rj, err := m.InfluenceRow(j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(ri[j]-rj[i]) > 1e-12*(1+math.Abs(ri[j])) {
+				t.Errorf("S[%d][%d] = %v, S[%d][%d] = %v: not symmetric", i, j, ri[j], j, i, rj[i])
+			}
+			if ri[j] <= 0 {
+				t.Errorf("S[%d][%d] = %v, want positive (heat always spreads)", i, j, ri[j])
+			}
+		}
+	}
+	if _, err := m.InfluenceRow(-1); err == nil {
+		t.Error("negative row index accepted")
+	}
+	if _, err := m.InfluenceRow(n); err == nil {
+		t.Error("out-of-range row index accepted")
+	}
+}

@@ -3,6 +3,7 @@ package hotspot
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"thermalsched/internal/floorplan"
 	"thermalsched/internal/geom"
@@ -23,6 +24,16 @@ type Model struct {
 	g     *linalg.Matrix   // conductance matrix (relative-to-ambient formulation)
 	chol  *linalg.Cholesky // cached factorization
 	caps  []float64        // node heat capacities (transient)
+
+	// Influence matrix: because the RC network is linear, steady-state
+	// block temperature rise is an affine function of block power,
+	// rise = S·p with S[i][j] = (G⁻¹)[i][j] restricted to block nodes.
+	// It is computed lazily (n triangular solves, once per model) and
+	// turns every subsequent steady-state inquiry into n² multiply-adds
+	// with zero allocations — the thermal-aware ASP's hot path.
+	influOnce sync.Once
+	influ     []float64 // n×n row-major; symmetric since G is
+	influErr  error
 }
 
 // NewModel builds the thermal network for fp under cfg. The floorplan
@@ -223,9 +234,62 @@ func (m *Model) SteadyState(power map[string]float64) (Temps, error) {
 }
 
 // SteadyStateVec is like SteadyState but takes powers indexed by block
-// node order (length NumBlocks). The scheduler's hot path uses this form
-// to avoid map allocation.
+// node order (length NumBlocks). It rides the influence-matrix fast
+// path; callers that need zero allocations use SteadyStateInto.
 func (m *Model) SteadyStateVec(power []float64) (Temps, error) {
+	vals := make([]float64, m.n)
+	if err := m.SteadyStateInto(vals, power); err != nil {
+		return Temps{}, err
+	}
+	return Temps{names: m.names, byName: m.byName, values: vals}, nil
+}
+
+// SteadyStateInto computes steady-state block temperatures (°C) for a
+// block-order power vector into dst (length NumBlocks) without
+// allocating: one row of the cached influence matrix per output block.
+// dst and power must not alias. This is the form behind every thermal
+// inquiry of the thermal-aware ASP.
+func (m *Model) SteadyStateInto(dst, power []float64) error {
+	if len(power) != m.n {
+		return fmt.Errorf("hotspot: power vector length %d, want %d", len(power), m.n)
+	}
+	if len(dst) != m.n {
+		return fmt.Errorf("hotspot: temperature vector length %d, want %d", len(dst), m.n)
+	}
+	for i, w := range power {
+		// One branch per element: w >= 0 is false for NaN, the upper
+		// bound rejects +Inf (negatives and -Inf fail the first test).
+		if !(w >= 0 && w <= math.MaxFloat64) {
+			return fmt.Errorf("hotspot: invalid power %g W for block %q", w, m.names[i])
+		}
+	}
+	if err := m.ensureInfluence(); err != nil {
+		return err
+	}
+	n := m.n
+	pw := power[:n]
+	out := dst[:n]
+	ambient := m.cfg.AmbientC
+	for i := range out {
+		// Re-slicing the row to len(pw) lets the compiler elide the
+		// bounds checks in the inner product — the entire inquiry cost.
+		row := m.influ[i*n:]
+		row = row[:len(pw)]
+		var s float64
+		for j, w := range pw {
+			s += row[j] * w
+		}
+		out[i] = s + ambient
+	}
+	return nil
+}
+
+// SteadyStateDirect is the reference steady-state path: a full
+// triangular solve against the cached Cholesky factorization per call.
+// The influence-matrix fast path is verified against it in tests; it
+// also lets single-shot callers (one inquiry per model) skip the n
+// solves an influence build costs.
+func (m *Model) SteadyStateDirect(power []float64) (Temps, error) {
 	if len(power) != m.n {
 		return Temps{}, fmt.Errorf("hotspot: power vector length %d, want %d", len(power), m.n)
 	}
@@ -249,6 +313,46 @@ func (m *Model) steadyFromVector(p []float64) (Temps, error) {
 		vals[i] = rise[i] + m.cfg.AmbientC
 	}
 	return Temps{names: m.names, byName: m.byName, values: vals}, nil
+}
+
+// ensureInfluence computes the block-restricted inverse-conductance
+// matrix: n triangular solves against unit block loads, done once per
+// model (thread-safe; cached models shared across concurrent runs pay
+// for it a single time).
+func (m *Model) ensureInfluence() error {
+	m.influOnce.Do(func() {
+		s := make([]float64, m.n*m.n)
+		e := make([]float64, m.total)
+		x := make([]float64, m.total)
+		for j := 0; j < m.n; j++ {
+			e[j] = 1
+			if err := m.chol.SolveInto(x, e); err != nil {
+				m.influErr = fmt.Errorf("hotspot: influence matrix solve: %w", err)
+				return
+			}
+			e[j] = 0
+			for i := 0; i < m.n; i++ {
+				s[i*m.n+j] = x[i]
+			}
+		}
+		m.influ = s
+	})
+	return m.influErr
+}
+
+// InfluenceRow returns row i of the influence matrix: the steady-state
+// temperature rise of block i per watt injected into each block. The
+// matrix is symmetric (G is), so row i is also block i's column of heat
+// reach. The returned slice is shared read-only state — callers must
+// not modify it.
+func (m *Model) InfluenceRow(i int) ([]float64, error) {
+	if i < 0 || i >= m.n {
+		return nil, fmt.Errorf("hotspot: influence row %d out of range [0,%d)", i, m.n)
+	}
+	if err := m.ensureInfluence(); err != nil {
+		return nil, err
+	}
+	return m.influ[i*m.n : (i+1)*m.n], nil
 }
 
 // Conductance exposes the raw conductance matrix (a clone) for tests and

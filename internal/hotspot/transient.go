@@ -13,6 +13,8 @@ type Transient struct {
 	m       *Model
 	stepper *linalg.BackwardEulerStepper
 	state   []float64 // temperature rise over ambient, all nodes
+	next    []float64 // workspace for the incoming state (swapped with state)
+	pbuf    []float64 // workspace: block powers widened to all nodes
 	now     float64   // elapsed simulated seconds
 }
 
@@ -26,6 +28,8 @@ func (m *Model) NewTransient(dt float64) (*Transient, error) {
 		m:       m,
 		stepper: st,
 		state:   make([]float64, m.total),
+		next:    make([]float64, m.total),
+		pbuf:    make([]float64, m.total),
 	}, nil
 }
 
@@ -47,27 +51,51 @@ func (tr *Transient) Step(power map[string]float64) (Temps, error) {
 	if err != nil {
 		return Temps{}, err
 	}
-	return tr.stepVec(p)
+	if err := tr.stepNodes(p); err != nil {
+		return Temps{}, err
+	}
+	return tr.snapshot(), nil
 }
 
 // StepVec advances one time step with powers indexed by block node order.
 func (tr *Transient) StepVec(power []float64) (Temps, error) {
-	if len(power) != tr.m.n {
-		return Temps{}, fmt.Errorf("hotspot: power vector length %d, want %d", len(power), tr.m.n)
+	vals := make([]float64, tr.m.n)
+	if err := tr.StepVecInto(vals, power); err != nil {
+		return Temps{}, err
 	}
-	p := make([]float64, tr.m.total)
-	copy(p, power)
-	return tr.stepVec(p)
+	return Temps{names: tr.m.names, byName: tr.m.byName, values: vals}, nil
 }
 
-func (tr *Transient) stepVec(p []float64) (Temps, error) {
-	next, err := tr.stepper.Step(tr.state, p)
-	if err != nil {
-		return Temps{}, fmt.Errorf("hotspot: transient step: %w", err)
+// StepVecInto advances one time step with powers indexed by block node
+// order, writing the resulting block temperatures (°C) into dst without
+// allocating — the DTM control loop's form.
+func (tr *Transient) StepVecInto(dst, power []float64) error {
+	if len(power) != tr.m.n {
+		return fmt.Errorf("hotspot: power vector length %d, want %d", len(power), tr.m.n)
 	}
-	tr.state = next
+	if len(dst) != tr.m.n {
+		return fmt.Errorf("hotspot: temperature vector length %d, want %d", len(dst), tr.m.n)
+	}
+	copy(tr.pbuf, power) // non-block nodes of pbuf stay zero
+	if err := tr.stepNodes(tr.pbuf); err != nil {
+		return err
+	}
+	ambient := tr.m.cfg.AmbientC
+	for i := range dst {
+		dst[i] = tr.state[i] + ambient
+	}
+	return nil
+}
+
+// stepNodes advances the full node state under an all-nodes power
+// vector, reusing the swap buffer so stepping never allocates.
+func (tr *Transient) stepNodes(p []float64) error {
+	if err := tr.stepper.StepInto(tr.next, tr.state, p); err != nil {
+		return fmt.Errorf("hotspot: transient step: %w", err)
+	}
+	tr.state, tr.next = tr.next, tr.state
 	tr.now += tr.stepper.Dt()
-	return tr.snapshot(), nil
+	return nil
 }
 
 // Temps returns the current block temperatures without advancing time.

@@ -123,3 +123,45 @@ func TestTransientRunAndErrors(t *testing.T) {
 		t.Error("negative dt accepted")
 	}
 }
+
+func TestStepVecIntoMatchesStepVecAndDoesNotAllocate(t *testing.T) {
+	m := model4(t)
+	trA, err := m.NewTransient(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trB, err := m.NewTransient(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := []float64{6, 1, 0, 3}
+	dst := make([]float64, m.NumBlocks())
+	for step := 0; step < 25; step++ {
+		want, err := trA.StepVec(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := trB.StepVecInto(dst, p); err != nil {
+			t.Fatal(err)
+		}
+		wv := want.Values()
+		for i := range dst {
+			if dst[i] != wv[i] {
+				t.Fatalf("step %d block %d: StepVecInto %v, StepVec %v", step, i, dst[i], wv[i])
+			}
+		}
+	}
+	if err := trB.StepVecInto(dst, []float64{1}); err == nil {
+		t.Error("short power vector accepted")
+	}
+	if err := trB.StepVecInto(dst[:1], p); err == nil {
+		t.Error("short dst accepted")
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if err := trB.StepVecInto(dst, p); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("StepVecInto allocates %v per run", n)
+	}
+}

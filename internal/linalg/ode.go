@@ -21,6 +21,7 @@ type BackwardEulerStepper struct {
 	dt   float64
 	caps []float64 // diagonal capacitances (copy)
 	lu   *LU
+	rhs  []float64 // workspace for StepInto, so stepping never allocates
 }
 
 // NewBackwardEulerStepper builds a stepper for conductance matrix g
@@ -51,7 +52,7 @@ func NewBackwardEulerStepper(g *Matrix, c []float64, dt float64) (*BackwardEuler
 	}
 	cc := make([]float64, n)
 	copy(cc, c)
-	return &BackwardEulerStepper{n: n, dt: dt, caps: cc, lu: lu}, nil
+	return &BackwardEulerStepper{n: n, dt: dt, caps: cc, lu: lu, rhs: make([]float64, n)}, nil
 }
 
 // Dt returns the fixed step size.
@@ -60,14 +61,28 @@ func (s *BackwardEulerStepper) Dt() float64 { return s.dt }
 // Step advances the state t by one step under power injection p and
 // returns the new state. t and p are not modified.
 func (s *BackwardEulerStepper) Step(t, p []float64) ([]float64, error) {
+	next := make([]float64, s.n)
+	if err := s.StepInto(next, t, p); err != nil {
+		return nil, err
+	}
+	return next, nil
+}
+
+// StepInto advances the state t by one step under power injection p,
+// writing the new state into dst without allocating. dst may alias t
+// (the right-hand side is assembled in an internal workspace before dst
+// is written); the stepper is consequently not safe for concurrent use.
+func (s *BackwardEulerStepper) StepInto(dst, t, p []float64) error {
 	if len(t) != s.n || len(p) != s.n {
-		return nil, fmt.Errorf("linalg: Step lengths t=%d p=%d, want %d", len(t), len(p), s.n)
+		return fmt.Errorf("linalg: Step lengths t=%d p=%d, want %d", len(t), len(p), s.n)
 	}
-	rhs := make([]float64, s.n)
-	for i := range rhs {
-		rhs[i] = s.caps[i]/s.dt*t[i] + p[i]
+	if len(dst) != s.n {
+		return fmt.Errorf("linalg: StepInto dst length %d, want %d", len(dst), s.n)
 	}
-	return s.lu.Solve(rhs)
+	for i := range s.rhs {
+		s.rhs[i] = s.caps[i]/s.dt*t[i] + p[i]
+	}
+	return s.lu.SolveInto(dst, s.rhs)
 }
 
 // RK4Step advances C·dT/dt = p − G·t by one explicit classical

@@ -142,3 +142,43 @@ func TestBackwardEulerStepperValidation(t *testing.T) {
 		t.Error("Step with short state should error")
 	}
 }
+
+func TestStepIntoMatchesStepAndDoesNotAllocate(t *testing.T) {
+	g := NewMatrixFrom(2, 2, []float64{2, -1, -1, 2})
+	c := []float64{1, 2}
+	s, err := NewBackwardEulerStepper(g, c, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := []float64{1, 3}
+	p := []float64{4, 0}
+	want, err := s.Step(state, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, 2)
+	if err := s.StepInto(got, state, p); err != nil {
+		t.Fatal(err)
+	}
+	if !vecAlmostEq(got, want, 0) {
+		t.Errorf("StepInto = %v, Step = %v", got, want)
+	}
+	// dst aliasing the state is the natural in-place stepping form.
+	alias := append([]float64(nil), state...)
+	if err := s.StepInto(alias, alias, p); err != nil {
+		t.Fatal(err)
+	}
+	if !vecAlmostEq(alias, want, 0) {
+		t.Errorf("aliased StepInto = %v, want %v", alias, want)
+	}
+	if err := s.StepInto(make([]float64, 1), state, p); err == nil {
+		t.Error("short dst accepted")
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if err := s.StepInto(got, state, p); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("StepInto allocates %v per run", n)
+	}
+}

@@ -28,8 +28,16 @@ type LU struct {
 	sign float64 // permutation parity, for Det
 }
 
+// luPivotRelTol is the relative singularity threshold of FactorLU: a
+// pivot this far below the matrix's largest element signals a matrix
+// that is singular to working precision — an exact-zero test would let
+// near-singular systems through and silently amplify rounding noise
+// into garbage solutions.
+const luPivotRelTol = 1e-12
+
 // FactorLU computes the LU factorization of the square matrix a.
-// a is not modified.
+// a is not modified. It returns ErrSingular when a pivot falls below
+// luPivotRelTol times the matrix's max-abs element.
 func FactorLU(a *Matrix) (*LU, error) {
 	if a.Rows() != a.Cols() {
 		return nil, fmt.Errorf("linalg: FactorLU needs square matrix, got %dx%d", a.Rows(), a.Cols())
@@ -37,6 +45,7 @@ func FactorLU(a *Matrix) (*LU, error) {
 	n := a.Rows()
 	f := &LU{n: n, lu: a.Clone(), piv: make([]int, n), sign: 1}
 	lu := f.lu
+	tiny := luPivotRelTol * a.MaxAbs()
 	for k := 0; k < n; k++ {
 		// Partial pivoting: largest |value| in column k at/below row k.
 		p := k
@@ -46,7 +55,7 @@ func FactorLU(a *Matrix) (*LU, error) {
 				maxAbs, p = v, i
 			}
 		}
-		if maxAbs == 0 {
+		if maxAbs <= tiny {
 			return nil, ErrSingular
 		}
 		f.piv[k] = p
@@ -75,10 +84,25 @@ func FactorLU(a *Matrix) (*LU, error) {
 
 // Solve solves A·x = b for one right-hand side. b is not modified.
 func (f *LU) Solve(b []float64) ([]float64, error) {
-	if len(b) != f.n {
-		return nil, fmt.Errorf("linalg: LU.Solve rhs length %d, want %d", len(b), f.n)
-	}
 	x := make([]float64, f.n)
+	if err := f.SolveInto(x, b); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveInto solves A·x = b into the caller-supplied x without
+// allocating — the hot-loop form behind zero-allocation transient
+// stepping. x and b may alias (b is fully consumed before x is
+// overwritten when they are the same slice); b is otherwise not
+// modified.
+func (f *LU) SolveInto(x, b []float64) error {
+	if len(b) != f.n {
+		return fmt.Errorf("linalg: LU.Solve rhs length %d, want %d", len(b), f.n)
+	}
+	if len(x) != f.n {
+		return fmt.Errorf("linalg: LU.SolveInto dst length %d, want %d", len(x), f.n)
+	}
 	copy(x, b)
 	// Apply the row swaps to the RHS in factorization order.
 	for k := 0; k < f.n; k++ {
@@ -102,7 +126,7 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 		}
 		x[i] = (x[i] - s) / f.lu.At(i, i)
 	}
-	return x, nil
+	return nil
 }
 
 // Det returns the determinant of the factored matrix.
@@ -166,28 +190,41 @@ func FactorCholesky(a *Matrix) (*Cholesky, error) {
 
 // Solve solves A·x = b using the factorization.
 func (c *Cholesky) Solve(b []float64) ([]float64, error) {
-	if len(b) != c.n {
-		return nil, fmt.Errorf("linalg: Cholesky.Solve rhs length %d, want %d", len(b), c.n)
+	x := make([]float64, c.n)
+	if err := c.SolveInto(x, b); err != nil {
+		return nil, err
 	}
-	// L·y = b
-	y := make([]float64, c.n)
+	return x, nil
+}
+
+// SolveInto solves A·x = b into the caller-supplied x without
+// allocating: both triangular sweeps run in place on x. x and b may
+// alias; b is otherwise not modified.
+func (c *Cholesky) SolveInto(x, b []float64) error {
+	if len(b) != c.n {
+		return fmt.Errorf("linalg: Cholesky.Solve rhs length %d, want %d", len(b), c.n)
+	}
+	if len(x) != c.n {
+		return fmt.Errorf("linalg: Cholesky.SolveInto dst length %d, want %d", len(x), c.n)
+	}
+	// L·y = b, with y accumulated in x (x[j] for j < i already holds y).
 	for i := 0; i < c.n; i++ {
 		s := b[i]
 		for j := 0; j < i; j++ {
-			s -= c.l.At(i, j) * y[j]
+			s -= c.l.At(i, j) * x[j]
 		}
-		y[i] = s / c.l.At(i, i)
+		x[i] = s / c.l.At(i, i)
 	}
-	// Lᵀ·x = y
-	x := make([]float64, c.n)
+	// Lᵀ·x = y in place: x[j] for j > i is already the final solution,
+	// x[i] still holds y[i] when it is read.
 	for i := c.n - 1; i >= 0; i-- {
-		s := y[i]
+		s := x[i]
 		for j := i + 1; j < c.n; j++ {
 			s -= c.l.At(j, i) * x[j]
 		}
 		x[i] = s / c.l.At(i, i)
 	}
-	return x, nil
+	return nil
 }
 
 // SolveSPD solves a·x = b for an SPD matrix, trying Cholesky first and

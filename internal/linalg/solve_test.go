@@ -286,3 +286,134 @@ func TestDetMatches3x3Cofactor(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestLUNearSingular(t *testing.T) {
+	// Rows differ by ~1e-14 of the matrix scale: an exact-zero pivot
+	// test would accept this and amplify rounding noise into a garbage
+	// solution; the relative threshold must flag it.
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 2, 4 + 1e-14})
+	if _, err := FactorLU(a); !errors.Is(err, ErrSingular) {
+		t.Errorf("near-singular err = %v, want ErrSingular", err)
+	}
+}
+
+func TestLUTinyButWellConditioned(t *testing.T) {
+	// The singularity threshold is relative to the matrix's own scale,
+	// so a tiny well-conditioned matrix must still factor.
+	a := NewMatrixFrom(2, 2, []float64{1e-20, 0, 0, 2e-20})
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatalf("tiny diagonal matrix rejected: %v", err)
+	}
+	x, err := f.Solve([]float64{1e-20, 4e-20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecAlmostEq(x, []float64{1, 2}, 1e-12) {
+		t.Errorf("x = %v, want [1 2]", x)
+	}
+}
+
+func TestLUSolveIntoMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomSPD(rng, 6)
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 6)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	want, err := f.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, 6)
+	if err := f.SolveInto(got, b); err != nil {
+		t.Fatal(err)
+	}
+	if !vecAlmostEq(got, want, 0) {
+		t.Errorf("SolveInto = %v, Solve = %v", got, want)
+	}
+	// In-place: x aliasing b is allowed.
+	alias := append([]float64(nil), b...)
+	if err := f.SolveInto(alias, alias); err != nil {
+		t.Fatal(err)
+	}
+	if !vecAlmostEq(alias, want, 0) {
+		t.Errorf("aliased SolveInto = %v, want %v", alias, want)
+	}
+	if err := f.SolveInto(make([]float64, 5), b); err == nil {
+		t.Error("short dst accepted")
+	}
+	if err := f.SolveInto(got, b[:3]); err == nil {
+		t.Error("short rhs accepted")
+	}
+}
+
+func TestCholeskySolveIntoMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randomSPD(rng, 6)
+	c, err := FactorCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 6)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	want, err := c.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, 6)
+	if err := c.SolveInto(got, b); err != nil {
+		t.Fatal(err)
+	}
+	if !vecAlmostEq(got, want, 0) {
+		t.Errorf("SolveInto = %v, Solve = %v", got, want)
+	}
+	alias := append([]float64(nil), b...)
+	if err := c.SolveInto(alias, alias); err != nil {
+		t.Fatal(err)
+	}
+	if !vecAlmostEq(alias, want, 0) {
+		t.Errorf("aliased SolveInto = %v, want %v", alias, want)
+	}
+	if err := c.SolveInto(make([]float64, 5), b); err == nil {
+		t.Error("short dst accepted")
+	}
+}
+
+func TestSolveIntoZeroAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomSPD(rng, 8)
+	c, err := FactorCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 8)
+	for i := range b {
+		b[i] = 1 + float64(i)
+	}
+	x := make([]float64, 8)
+	if n := testing.AllocsPerRun(100, func() {
+		if err := c.SolveInto(x, b); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("Cholesky.SolveInto allocates %v per run", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if err := f.SolveInto(x, b); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("LU.SolveInto allocates %v per run", n)
+	}
+}

@@ -77,6 +77,24 @@ type ThermalOracle interface {
 	AvgTemp(pePower []float64) (float64, error)
 }
 
+// IncrementalOracle is an optional ThermalOracle extension the greedy
+// ASP exploits: between the PE candidates of one scheduling step only a
+// single coordinate of the inquiry power vector changes (the candidate
+// PE gains the task's power), so the oracle can answer from a shared
+// base solution with an O(1)-coordinate delta instead of a fresh solve.
+// SetBase fixes the step's common power vector; AvgTempDelta then
+// answers AvgTemp(base + deltaW·e_pe) for one candidate. Implementations
+// need not be safe for concurrent use.
+type IncrementalOracle interface {
+	ThermalOracle
+	// SetBase fixes the base per-PE power vector subsequent
+	// AvgTempDelta calls build on. The slice is copied.
+	SetBase(pePower []float64) error
+	// AvgTempDelta is AvgTemp of the base vector with deltaW watts
+	// added to PE pe. deltaW must be non-negative and finite.
+	AvgTempDelta(pe int, deltaW float64) (float64, error)
+}
+
 // Config tunes the ASP. The weight fields convert the heterogeneous
 // units of the DC equation's last term into schedule time units:
 //

@@ -78,10 +78,46 @@ func AllocateAndScheduleCtx(ctx context.Context, g *taskgraph.Graph, arch Archit
 	peEnergy := make([]float64, nPE)
 	scheduledCount := 0
 
+	// Adjacency and library rows, materialized once: Predecessors and
+	// Lookup are called for every (ready task, PE) candidate of every
+	// greedy step, and per-call slice allocation there dominates the
+	// non-thermal scheduling cost.
+	preds := make([][]taskgraph.Edge, n)
+	succs := make([][]taskgraph.Edge, n)
+	for id := 0; id < n; id++ {
+		preds[id] = g.Predecessors(id)
+		succs[id] = g.Successors(id)
+	}
+	entries := make([]techlib.Entry, n*nPE)
+	entryOK := make([]bool, n*nPE)
+	for task := 0; task < n; task++ {
+		for pe := 0; pe < nPE; pe++ {
+			entries[task*nPE+pe], entryOK[task*nPE+pe] = lib.Lookup(arch.PEs[pe].Type, g.Task(task).Type)
+		}
+	}
+
+	// Thermal-inquiry machinery, hoisted out of the candidate loop. The
+	// inquiry power vector is a scratch slice reused across candidates;
+	// when the oracle supports incremental evaluation (the model-backed
+	// oracle does), each greedy step solves the shared base power once
+	// and every candidate is answered with an O(PEs) delta update.
+	horizon := cfg.ThermalHorizon
+	if horizon <= 0 {
+		horizon = DefaultThermalHorizon
+	}
+	var (
+		pePower   []float64
+		incOracle IncrementalOracle
+	)
+	if cfg.Policy == ThermalAware {
+		pePower = make([]float64, nPE)
+		incOracle, _ = cfg.Oracle.(IncrementalOracle)
+	}
+
 	// ready(i, j): earliest time task i's inputs are available on PE j.
 	readyOn := func(task, pe int) float64 {
 		t := 0.0
-		for _, e := range g.Predecessors(task) {
+		for _, e := range preds[task] {
 			p := assignments[e.From]
 			r := p.Finish
 			if p.PE != pe {
@@ -118,20 +154,25 @@ func AllocateAndScheduleCtx(ctx context.Context, g *taskgraph.Graph, arch Archit
 			// heat of running this task *now* on top of that PE's
 			// history — which is what makes hot-on-hot placements
 			// expensive and yields thermal balance.
-			horizon := cfg.ThermalHorizon
-			if horizon <= 0 {
-				horizon = DefaultThermalHorizon
-			}
-			pePower := make([]float64, nPE)
-			for j := range pePower {
-				e := peEnergy[j]
-				if j == pe {
-					e += entry.Energy()
+			var (
+				avg float64
+				err error
+			)
+			if incOracle != nil {
+				// The base (peEnergy/horizon) is fixed per greedy step;
+				// this candidate only adds the task's power on its PE.
+				avg, err = incOracle.AvgTempDelta(pe, entry.Energy()/horizon+entry.WCPC)
+			} else {
+				for j := range pePower {
+					e := peEnergy[j]
+					if j == pe {
+						e += entry.Energy()
+					}
+					pePower[j] = e / horizon
 				}
-				pePower[j] = e / horizon
+				pePower[pe] += entry.WCPC
+				avg, err = cfg.Oracle.AvgTemp(pePower)
 			}
-			pePower[pe] += entry.WCPC
-			avg, err := cfg.Oracle.AvgTemp(pePower)
 			if err != nil {
 				return 0, fmt.Errorf("sched: thermal inquiry for task %d on PE %q: %w",
 					task, arch.PEs[pe].Name, err)
@@ -147,6 +188,16 @@ func AllocateAndScheduleCtx(ctx context.Context, g *taskgraph.Graph, arch Archit
 			return nil, fmt.Errorf("sched: cancelled with %d/%d tasks scheduled: %w",
 				scheduledCount, n, err)
 		}
+		if incOracle != nil {
+			// One steady-state solve for the step's shared base power;
+			// the candidate loop below only pays per-candidate deltas.
+			for j := range pePower {
+				pePower[j] = peEnergy[j] / horizon
+			}
+			if err := incOracle.SetBase(pePower); err != nil {
+				return nil, fmt.Errorf("sched: thermal inquiry base: %w", err)
+			}
+		}
 		bestTask, bestPE := -1, -1
 		bestDC := math.Inf(-1)
 		var bestStart, bestFinish, bestPower float64
@@ -157,7 +208,7 @@ func AllocateAndScheduleCtx(ctx context.Context, g *taskgraph.Graph, arch Archit
 			}
 			runnableSomewhere := false
 			for pe := 0; pe < nPE; pe++ {
-				entry, ok := lib.Lookup(arch.PEs[pe].Type, g.Task(task).Type)
+				entry, ok := entries[task*nPE+pe], entryOK[task*nPE+pe]
 				if !ok {
 					continue
 				}
@@ -193,7 +244,7 @@ func AllocateAndScheduleCtx(ctx context.Context, g *taskgraph.Graph, arch Archit
 		scheduledCount++
 		peAvail[bestPE] = bestFinish
 		peEnergy[bestPE] += (bestFinish - bestStart) * bestPower
-		for _, e := range g.Successors(bestTask) {
+		for _, e := range succs[bestTask] {
 			remainingPreds[e.To]--
 		}
 	}

@@ -2,14 +2,22 @@ package sched
 
 import (
 	"fmt"
+	"math"
 
 	"thermalsched/internal/hotspot"
+	"thermalsched/internal/linalg"
 )
 
 // ModelOracle adapts a hotspot.Model to the ThermalOracle interface the
 // thermal-aware ASP consumes. The architecture's PE names must each have
 // a same-named block in the model's floorplan (extra blocks are allowed
-// and dissipate nothing).
+// and dissipate nothing). It also implements IncrementalOracle on top of
+// the model's influence matrix, so a scheduling step's PE candidates are
+// answered with O(PEs) delta updates instead of fresh solves.
+//
+// A ModelOracle owns scratch buffers and is therefore NOT safe for
+// concurrent use; the flows construct one oracle per run (the underlying
+// model may be shared freely).
 type ModelOracle struct {
 	// AllBlocks averages inquiry temperatures over every block instead
 	// of only the PEs currently in use (power > 0). The default (false)
@@ -20,32 +28,90 @@ type ModelOracle struct {
 	AllBlocks bool
 
 	model *hotspot.Model
-	// blockPower is the scratch power vector in model block order;
 	// peToBlock maps architecture PE index to model block index.
 	peToBlock []int
 	numBlocks int
+
+	// peRow[i] is the influence-matrix row of PE i's block: the °C/W
+	// heat reach of power injected there. Populated on first SetBase so
+	// flows that never issue a thermal inquiry (non-thermal policies
+	// build an oracle too, for final metrics) skip the influence build.
+	peRow     [][]float64
+	rowsReady bool
+
+	// Scratch state (reused across calls; zero steady-state allocations).
+	blockPower []float64 // power gathered into model block order
+	temps      []float64 // block temperatures of the last solve, °C
+	basePE     []float64 // IncrementalOracle: base per-PE power
+	baseTemps  []float64 // IncrementalOracle: block temps of the base, °C
+	baseSet    bool
 }
 
 // NewModelOracle wires an architecture to a thermal model by block name.
+// It rejects architectures in which two PEs land on the same block —
+// such duplicates (duplicate PE names) are already rejected by
+// Architecture.Validate, but the oracle is the layer that would
+// otherwise silently mis-attribute their power.
 func NewModelOracle(model *hotspot.Model, arch Architecture) (*ModelOracle, error) {
 	names := model.BlockNames()
 	index := make(map[string]int, len(names))
 	for i, n := range names {
 		index[n] = i
 	}
+	n := model.NumBlocks()
 	o := &ModelOracle{
-		model:     model,
-		peToBlock: make([]int, len(arch.PEs)),
-		numBlocks: model.NumBlocks(),
+		model:      model,
+		peToBlock:  make([]int, len(arch.PEs)),
+		peRow:      make([][]float64, len(arch.PEs)),
+		numBlocks:  n,
+		blockPower: make([]float64, n),
+		temps:      make([]float64, n),
+		basePE:     make([]float64, len(arch.PEs)),
+		baseTemps:  make([]float64, n),
 	}
+	claimed := make(map[int]string, len(arch.PEs))
 	for i, pe := range arch.PEs {
 		bi, ok := index[pe.Name]
 		if !ok {
 			return nil, fmt.Errorf("sched: PE %q has no block in the thermal model", pe.Name)
 		}
+		if prev, dup := claimed[bi]; dup {
+			return nil, fmt.Errorf("sched: PEs %q and %q map to the same thermal block", prev, pe.Name)
+		}
+		claimed[bi] = pe.Name
 		o.peToBlock[i] = bi
 	}
 	return o, nil
+}
+
+// ensureRows caches each PE's influence-matrix row, building the
+// model's influence matrix on first use.
+func (o *ModelOracle) ensureRows() error {
+	if o.rowsReady {
+		return nil
+	}
+	for i, bi := range o.peToBlock {
+		row, err := o.model.InfluenceRow(bi)
+		if err != nil {
+			return err
+		}
+		o.peRow[i] = row
+	}
+	o.rowsReady = true
+	return nil
+}
+
+// gather accumulates per-PE powers into the block-order scratch vector.
+// Accumulation (not assignment) keeps the oracle correct even if several
+// PEs ever share one block.
+func (o *ModelOracle) gather(pePower []float64) []float64 {
+	for i := range o.blockPower {
+		o.blockPower[i] = 0
+	}
+	for i, w := range pePower {
+		o.blockPower[o.peToBlock[i]] += w
+	}
+	return o.blockPower
 }
 
 // AvgTemp implements ThermalOracle: steady-state block temperatures under
@@ -55,25 +121,21 @@ func NewModelOracle(model *hotspot.Model, arch Architecture) (*ModelOracle, erro
 // *distribution* — on a perfectly symmetric platform the all-blocks mean
 // depends only on total power and could not steer placement. When no PE
 // is in use the average falls back to all blocks (ambient).
+// The call is allocation-free: it reuses the oracle's scratch buffers
+// and the model's influence matrix.
 func (o *ModelOracle) AvgTemp(pePower []float64) (float64, error) {
 	if len(pePower) != len(o.peToBlock) {
 		return 0, fmt.Errorf("sched: oracle got %d powers for %d PEs", len(pePower), len(o.peToBlock))
 	}
-	block := make([]float64, o.numBlocks)
-	for i, w := range pePower {
-		block[o.peToBlock[i]] = w
-	}
-	temps, err := o.model.SteadyStateVec(block)
-	if err != nil {
+	if err := o.model.SteadyStateInto(o.temps, o.gather(pePower)); err != nil {
 		return 0, err
 	}
 	if !o.AllBlocks {
-		vals := temps.Values()
 		var sum float64
 		n := 0
 		for i, w := range pePower {
 			if w > 0 {
-				sum += vals[o.peToBlock[i]]
+				sum += o.temps[o.peToBlock[i]]
 				n++
 			}
 		}
@@ -81,18 +143,75 @@ func (o *ModelOracle) AvgTemp(pePower []float64) (float64, error) {
 			return sum / float64(n), nil
 		}
 	}
-	return temps.Avg(), nil
+	return linalg.Mean(o.temps), nil
+}
+
+// SetBase implements IncrementalOracle: it solves the shared base power
+// vector once so AvgTempDelta can answer each candidate from it.
+func (o *ModelOracle) SetBase(pePower []float64) error {
+	if len(pePower) != len(o.peToBlock) {
+		return fmt.Errorf("sched: oracle got %d powers for %d PEs", len(pePower), len(o.peToBlock))
+	}
+	if err := o.ensureRows(); err != nil {
+		return err
+	}
+	if err := o.model.SteadyStateInto(o.baseTemps, o.gather(pePower)); err != nil {
+		o.baseSet = false
+		return err
+	}
+	copy(o.basePE, pePower)
+	o.baseSet = true
+	return nil
+}
+
+// AvgTempDelta implements IncrementalOracle: AvgTemp of the base vector
+// with deltaW added to PE pe, answered with one influence-matrix column
+// instead of a solve — O(blocks + PEs) and allocation-free.
+func (o *ModelOracle) AvgTempDelta(pe int, deltaW float64) (float64, error) {
+	if !o.baseSet {
+		return 0, fmt.Errorf("sched: AvgTempDelta before SetBase")
+	}
+	if pe < 0 || pe >= len(o.peToBlock) {
+		return 0, fmt.Errorf("sched: AvgTempDelta PE %d out of range [0,%d)", pe, len(o.peToBlock))
+	}
+	if deltaW < 0 || math.IsNaN(deltaW) || math.IsInf(deltaW, 0) {
+		return 0, fmt.Errorf("sched: AvgTempDelta invalid power delta %g W", deltaW)
+	}
+	// The influence matrix is symmetric, so the candidate block's row is
+	// its heat reach: adding deltaW there raises block i by row[i]·deltaW.
+	row := o.peRow[pe]
+	if !o.AllBlocks {
+		var sum float64
+		n := 0
+		for j, w := range o.basePE {
+			if j == pe {
+				w += deltaW
+			}
+			if w > 0 {
+				bj := o.peToBlock[j]
+				sum += o.baseTemps[bj] + row[bj]*deltaW
+				n++
+			}
+		}
+		if n > 0 {
+			return sum / float64(n), nil
+		}
+	}
+	var sum float64
+	for i, t := range o.baseTemps {
+		sum += t + row[i]*deltaW
+	}
+	return sum / float64(len(o.baseTemps)), nil
 }
 
 // Temps returns the full steady-state temperatures for a per-PE power
 // vector — used when reporting the final schedule's thermal profile.
+// It takes the direct solve: reporting happens once per run, and a
+// single triangular solve is cheaper than building the influence
+// matrix for flows that never inquire (non-thermal policies).
 func (o *ModelOracle) Temps(pePower []float64) (hotspot.Temps, error) {
 	if len(pePower) != len(o.peToBlock) {
 		return hotspot.Temps{}, fmt.Errorf("sched: oracle got %d powers for %d PEs", len(pePower), len(o.peToBlock))
 	}
-	block := make([]float64, o.numBlocks)
-	for i, w := range pePower {
-		block[o.peToBlock[i]] = w
-	}
-	return o.model.SteadyStateVec(block)
+	return o.model.SteadyStateDirect(o.gather(pePower))
 }

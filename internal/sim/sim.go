@@ -12,6 +12,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -288,13 +289,22 @@ func (r *Result) Validate() error {
 
 // Trace converts the realized execution into a power trace sampled at dt
 // (schedule time units per sample), in architecture PE order, ready for
-// hotspot transient simulation.
+// hotspot transient simulation. Samples cover the half-open intervals
+// [k·dt, (k+1)·dt) up to the makespan: a run whose makespan is an exact
+// multiple of dt gets exactly Makespan/dt samples, with no trailing
+// all-zero cooling step.
 func (r *Result) Trace(dt float64) (*hotspot.PowerTrace, error) {
 	if dt <= 0 {
 		return nil, fmt.Errorf("sim: trace step must be positive, got %g", dt)
 	}
 	nPE := len(r.Schedule.Arch.PEs)
-	steps := int(r.Makespan/dt) + 1
+	// Half-open-interval guard: ceil with a relative epsilon so a
+	// makespan computed as k·dt (possibly off by float rounding) yields
+	// k samples, not k+1 — relative, so the guard holds for long traces
+	// where the absolute rounding error of the ratio exceeds any fixed
+	// epsilon.
+	ratio := r.Makespan / dt
+	steps := int(math.Ceil(ratio * (1 - 1e-12)))
 	trace := &hotspot.PowerTrace{Names: r.Schedule.Arch.PENames()}
 	for k := 0; k < steps; k++ {
 		t0, t1 := float64(k)*dt, float64(k+1)*dt

@@ -203,3 +203,55 @@ func TestExecuteProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// A makespan that is an exact multiple of dt must produce exactly
+// Makespan/dt samples: the old `int(Makespan/dt)+1` sizing appended a
+// trailing all-zero power row, padding every transient/DTM run with a
+// spurious cooling step.
+func TestTraceNoTrailingZeroSample(t *testing.T) {
+	s := platformSchedule(t, "Bm1", sched.Baseline)
+	res, err := Execute(s, Options{MinFactor: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, div := range []int{1, 3, 7} {
+		dt := res.Makespan / float64(div)
+		trace, err := res.Trace(dt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(trace.Samples) != div {
+			t.Fatalf("dt = makespan/%d: %d samples, want %d", div, len(trace.Samples), div)
+		}
+		last := trace.Samples[len(trace.Samples)-1]
+		var power float64
+		for _, w := range last {
+			power += w
+		}
+		if power <= 0 {
+			t.Errorf("dt = makespan/%d: trailing sample is all-zero", div)
+		}
+	}
+	// dt longer than the makespan still yields the single covering sample.
+	trace, err := res.Trace(res.Makespan * 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Samples) != 1 {
+		t.Errorf("oversized dt: %d samples, want 1", len(trace.Samples))
+	}
+	// Energy is conserved whatever the sampling step.
+	trace, err = res.Trace(res.Makespan / 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, row := range trace.Samples {
+		for _, w := range row {
+			total += w * res.Makespan / 5
+		}
+	}
+	if math.Abs(total-res.Energy) > 1e-6*(1+res.Energy) {
+		t.Errorf("trace energy %v, realized %v", total, res.Energy)
+	}
+}
