@@ -1,13 +1,15 @@
 // Command thermsched runs one Engine flow on a task graph and reports
 // the schedule, power and steady-state temperatures. The default flow
 // maps the graph onto the paper's 4-PE platform (Fig. 1b); -flow
-// selects co-synthesis, the randomized sweep, or the DTM study.
+// selects co-synthesis, the randomized sweep, the open-loop DTM study,
+// or the closed-loop runtime co-simulation.
 //
 // Usage:
 //
 //	thermsched -benchmark Bm1 -policy thermal
 //	thermsched -graph my.tg -policy h3 -gantt
 //	thermsched -flow cosynthesis -benchmark Bm2 -json
+//	thermsched -flow simulate -benchmark Bm3 -replicas 16 -seed 1 -json
 //
 // With -json the output is the same serializable Response schema that
 // cmd/thermschedd serves over HTTP.
@@ -26,15 +28,22 @@ import (
 
 func main() {
 	var (
-		flow      = flag.String("flow", "platform", "flow: platform, cosynthesis, sweep, dtm")
+		flow      = flag.String("flow", "platform", "flow: platform, cosynthesis, sweep, dtm, simulate")
 		benchmark = flag.String("benchmark", "", "paper benchmark (Bm1..Bm4)")
 		graphFile = flag.String("graph", "", "task graph file (.tg)")
 		policyStr = flag.String("policy", "thermal", "ASP policy: baseline, h1, h2, h3, thermal")
 		gantt     = flag.Bool("gantt", false, "print the per-PE timeline")
 		tempW     = flag.Float64("tempweight", 0, "override the thermal DC weight (0 = default)")
-		seed      = flag.Int64("seed", -1, "run seed (cosynthesis/sweep; negative = default)")
+		seed      = flag.Int64("seed", -1, "run seed (cosynthesis/sweep/simulate; negative = default)")
 		count     = flag.Int("count", 0, "sweep graph count (0 = default)")
 		asJSON    = flag.Bool("json", false, "emit the serializable Response schema as JSON")
+
+		// FlowSimulate knobs (closed-loop DTM co-simulation).
+		controller = flag.String("controller", "", "simulate controller: toggle, pi, none (default toggle)")
+		trigger    = flag.Float64("trigger", 0, "simulate toggle trigger / PI setpoint °C (0 = default)")
+		replicas   = flag.Int("replicas", 0, "simulate Monte-Carlo replicas (0 = default 1)")
+		minFactor  = flag.Float64("minfactor", 0, "simulate execution-time factor lower bound (0 = default 1)")
+		warmStart  = flag.Bool("warmstart", false, "simulate from the steady-state operating point")
 	)
 	flag.Parse()
 
@@ -46,11 +55,24 @@ func main() {
 	if *tempW > 0 {
 		req.TempWeight = tempW
 	}
-	if *seed >= 0 {
-		req.Seed = seed
-	}
 	if *count > 0 {
 		req.SweepCount = *count
+	}
+	if req.Flow == thermalsched.FlowSimulate {
+		spec := thermalsched.SimulateSpec{
+			Controller: *controller,
+			TriggerC:   *trigger,
+			SetpointC:  *trigger,
+			Replicas:   *replicas,
+			MinFactor:  *minFactor,
+			WarmStart:  *warmStart,
+		}
+		if *seed >= 0 {
+			spec.Seed = *seed
+		}
+		req.Simulate = &spec
+	} else if *seed >= 0 {
+		req.Seed = seed
 	}
 	if req.Flow != thermalsched.FlowSweep {
 		g, err := loadGraph(*benchmark, *graphFile)
@@ -141,9 +163,22 @@ func printHuman(resp *thermalsched.Response) {
 		fmt.Printf("dtm        %s: peak %.2f °C, throttled %.1f%%, slowdown %.1f%% over %d steps\n",
 			d.Controller, d.PeakTempC, 100*d.ThrottledFraction, 100*d.Slowdown, d.Steps)
 	}
+	if s := resp.Simulate; s != nil {
+		fmt.Printf("simulate   %s over %d replica(s), static makespan %.1f, deadline %.1f\n",
+			s.Controller, s.Replicas, s.StaticMakespan, s.Deadline)
+		fmt.Printf("  makespan      %s\n", statsLine(s.Makespan, "%.1f"))
+		fmt.Printf("  peak temp °C  %s\n", statsLine(s.PeakTempC, "%.2f"))
+		fmt.Printf("  throttle time %s\n", statsLine(s.ThrottleTime, "%.1f"))
+		fmt.Printf("  deadline miss %.0f%%\n", 100*s.DeadlineMissRate)
+	}
 	if resp.Gantt != "" {
 		fmt.Print(resp.Gantt)
 	}
+}
+
+func statsLine(s thermalsched.Stats, f string) string {
+	pat := fmt.Sprintf("mean %s  p50 %s  p90 %s  max %s", f, f, f, f)
+	return fmt.Sprintf(pat, s.Mean, s.P50, s.P90, s.Max)
 }
 
 func feasStr(ok bool) string {

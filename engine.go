@@ -14,6 +14,7 @@ import (
 	"thermalsched/internal/experiments"
 	"thermalsched/internal/floorplan"
 	"thermalsched/internal/hotspot"
+	rt "thermalsched/internal/runtime"
 	"thermalsched/internal/sim"
 	"thermalsched/internal/taskgraph"
 	"thermalsched/internal/techlib"
@@ -32,6 +33,9 @@ type Engine struct {
 	models  *modelCache
 	benches map[string]*Graph
 	ordered []string // benchmark names in paper order
+	// simTokens is the engine-wide parallelism pool for simulate-flow
+	// replica fan-out; see runSimulateFlow.
+	simTokens chan struct{}
 }
 
 // Option configures an Engine under construction; see NewEngine.
@@ -104,11 +108,12 @@ func NewEngine(opts ...Option) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		lib:     lib,
-		thermal: o.thermal,
-		workers: o.workers,
-		models:  newModelCache(o.cacheSize),
-		benches: make(map[string]*Graph),
+		lib:       lib,
+		thermal:   o.thermal,
+		workers:   o.workers,
+		models:    newModelCache(o.cacheSize),
+		benches:   make(map[string]*Graph),
+		simTokens: make(chan struct{}, o.workers),
 	}
 	for _, name := range taskgraph.BenchmarkNames() {
 		g, err := taskgraph.Benchmark(name)
@@ -178,6 +183,8 @@ func (e *Engine) Run(ctx context.Context, req Request) (*Response, error) {
 		resp, err = e.runSweepFlow(ctx, &req)
 	case FlowDTM:
 		resp, err = e.runDTMFlow(ctx, &req)
+	case FlowSimulate:
+		resp, err = e.runSimulateFlow(ctx, &req)
 	default: // unreachable after Validate
 		err = fmt.Errorf("thermalsched: unknown flow %q", req.Flow)
 	}
@@ -399,6 +406,132 @@ func (e *Engine) runDTMFlow(ctx context.Context, req *Request) (*Response, error
 	return resp, nil
 }
 
+// controller materializes a fresh DTM controller for the spec. Each
+// replica gets its own instance: controllers carry per-run state and
+// are not safe for concurrent use.
+func simController(spec SimulateSpec) (DTMController, error) {
+	switch spec.Controller {
+	case "toggle":
+		return dtm.NewToggleController(spec.TriggerC, spec.Hysteresis, spec.Throttle)
+	case "pi":
+		return dtm.NewPIController(spec.SetpointC, spec.Kp, spec.Ki, spec.MinScale)
+	case "none":
+		return nil, nil
+	default: // unreachable after Validate
+		return nil, fmt.Errorf("thermalsched: unknown simulate controller %q", spec.Controller)
+	}
+}
+
+// runSimulateFlow schedules on the platform, then co-simulates the
+// schedule, the transient thermal model and the DTM controller in
+// lockstep — Replicas seeded Monte-Carlo runs fanned across the
+// engine's worker pool (replica i draws its realization from Seed+i).
+func (e *Engine) runSimulateFlow(ctx context.Context, req *Request) (*Response, error) {
+	g, err := e.resolveGraph(req)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := req.platformConfig()
+	if err != nil {
+		return nil, err
+	}
+	cfg.HotSpot = &e.thermal
+	res, err := e.platform(ctx, g, e.lib, cfg)
+	if err != nil {
+		return nil, err
+	}
+	spec := req.Simulate.withDefaults()
+
+	results := make([]*rt.Result, spec.Replicas)
+	errs := make([]error, spec.Replicas)
+	runReplica := func(i int) {
+		ctrl, err := simController(spec)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		rcfg := rt.Config{
+			DT:         spec.DT,
+			TimeScale:  spec.TimeScale,
+			Controller: ctrl,
+			WarmStart:  spec.WarmStart,
+			Exec: sim.Options{
+				MinFactor:   spec.MinFactor,
+				Seed:        spec.Seed + int64(i),
+				Conditional: spec.Conditional,
+			},
+		}
+		results[i], errs[i] = rt.Simulate(ctx, res.Schedule, res.Model, rcfg)
+	}
+	// Replica fan-out draws extra parallelism from the engine-wide token
+	// pool (shared with every concurrently running simulate flow, sized
+	// to the worker count): when a token is free the replica runs on its
+	// own goroutine, otherwise it runs inline here. This keeps the total
+	// number of concurrent co-simulations bounded by the pool size even
+	// when RunBatch workers each hit this path at once — a per-request
+	// pool would multiply up to workers² goroutines.
+	var wg sync.WaitGroup
+	for i := 0; i < spec.Replicas; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case e.simTokens <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-e.simTokens }()
+				runReplica(i)
+			}(i)
+		default:
+			runReplica(i)
+		}
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	makespans := make([]float64, spec.Replicas)
+	peaks := make([]float64, spec.Replicas)
+	throttles := make([]float64, spec.Replicas)
+	misses, steps, energy := 0, 0, 0.0
+	for i, r := range results {
+		makespans[i] = r.Makespan
+		peaks[i] = r.PeakTempC
+		throttles[i] = r.ThrottleTime
+		if !r.DeadlineMet {
+			misses++
+		}
+		steps += r.Steps
+		energy += r.Energy
+	}
+	n := float64(spec.Replicas)
+	report := &SimulateReport{
+		Controller:       spec.Controller,
+		Replicas:         spec.Replicas,
+		StaticMakespan:   res.Schedule.Makespan,
+		Deadline:         res.Schedule.Graph.Deadline,
+		Makespan:         statsOf(makespans),
+		PeakTempC:        statsOf(peaks),
+		ThrottleTime:     statsOf(throttles),
+		DeadlineMissRate: float64(misses) / n,
+		MeanSteps:        float64(steps) / n,
+		MeanEnergy:       energy / n,
+	}
+	resp, err := flowResponse(FlowSimulate, cfg.Policy, res, req.IncludeGantt, false)
+	if err != nil {
+		return nil, err
+	}
+	resp.Simulate = report
+	return resp, nil
+}
+
 // modelProvider returns the cosynth-layer hook backed by the engine's
 // factorization cache.
 func (e *Engine) modelProvider() cosynth.ModelProvider {
@@ -427,10 +560,18 @@ func (e *Engine) ModelCacheStats() (hits, misses uint64, size int) {
 
 // modelKey fingerprints a (floorplan, thermal config) pair. Floorplans
 // are keyed by exact block geometry, so two floorplans solve to the
-// same factorization iff they are the same layout.
+// same factorization iff they are the same layout. The Config fields
+// are serialized explicitly, field by field — a reflective "%+v" would
+// silently produce colliding (pointer addresses) or unstable keys if
+// Config ever gained pointer or slice fields. TestModelKeyCoversConfig
+// pins the field count so additions cannot be forgotten here.
 func modelKey(fp *floorplan.Floorplan, cfg hotspot.Config) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%+v|", cfg)
+	fmt.Fprintf(&b, "si=%g,die=%g,sivh=%g,iface=%g,spk=%g,spt=%g,spvh=%g,sps=%g,ring=%g,conv=%g,sinkc=%g,amb=%g|",
+		cfg.SiliconConductivity, cfg.DieThickness, cfg.SiliconVolumetricHeat,
+		cfg.InterfaceResistivity, cfg.SpreaderConductivity, cfg.SpreaderThickness,
+		cfg.SpreaderVolumetricHeat, cfg.SpreaderToSinkResistance, cfg.SpreaderRingWidth,
+		cfg.ConvectionResistance, cfg.SinkHeatCapacity, cfg.AmbientC)
 	for _, blk := range fp.Blocks() {
 		fmt.Fprintf(&b, "%s:%g,%g,%g,%g;", blk.Name, blk.Rect.X, blk.Rect.Y, blk.Rect.W, blk.Rect.H)
 	}

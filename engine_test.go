@@ -7,6 +7,8 @@ import (
 	"reflect"
 	"testing"
 	"time"
+
+	"thermalsched/internal/floorplan"
 )
 
 // Golden equivalence: the deprecated free functions and the new Engine
@@ -351,5 +353,130 @@ func TestEngineConcurrentThermalRunsShareModel(t *testing.T) {
 	}
 	if _, misses, _ := e.ModelCacheStats(); misses != 1 {
 		t.Errorf("concurrent thermal runs built the model %d times, want 1", misses)
+	}
+}
+
+// The simulate flow is deterministic for a seeded request even though
+// replicas fan out across the worker pool: two runs — and a fresh
+// engine — produce the identical report.
+func TestEngineSimulateFlowDeterministic(t *testing.T) {
+	req := NewRequest(FlowSimulate,
+		WithBenchmark("Bm2"),
+		WithPolicy(ThermalAware),
+		WithSimulate(SimulateSpec{Replicas: 8, Seed: 11, MinFactor: 0.7}),
+	)
+	e := testEngine(t)
+	a, err := e.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := testEngine(t).Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Simulate, b.Simulate) {
+		t.Errorf("same engine diverges:\n  %+v\n  %+v", a.Simulate, b.Simulate)
+	}
+	if !reflect.DeepEqual(a.Simulate, c.Simulate) {
+		t.Errorf("fresh engine diverges:\n  %+v\n  %+v", a.Simulate, c.Simulate)
+	}
+	if a.Simulate.Replicas != 8 || a.Simulate.DeadlineMissRate < 0 {
+		t.Errorf("report malformed: %+v", a.Simulate)
+	}
+}
+
+// Closed-loop feedback at the engine level: a trigger below the
+// schedule's steady-state peak stretches the realized makespan past the
+// unthrottled ("none" controller) run's.
+func TestEngineSimulateClosedLoop(t *testing.T) {
+	e := testEngine(t)
+	free, err := e.Run(context.Background(), NewRequest(FlowSimulate,
+		WithBenchmark("Bm1"), WithSimulate(SimulateSpec{Controller: "none"})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	throttled, err := e.Run(context.Background(), NewRequest(FlowSimulate,
+		WithBenchmark("Bm1"), WithSimulate(SimulateSpec{Controller: "toggle", TriggerC: 60})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.Simulate.ThrottleTime.Max != 0 {
+		t.Errorf("controller none reported throttle time %+v", free.Simulate.ThrottleTime)
+	}
+	if !(throttled.Simulate.Makespan.Mean > free.Simulate.Makespan.Mean) {
+		t.Errorf("throttled makespan %+v not above unthrottled %+v",
+			throttled.Simulate.Makespan, free.Simulate.Makespan)
+	}
+	if throttled.Simulate.ThrottleTime.Min <= 0 {
+		t.Errorf("trigger below peak produced no throttling: %+v", throttled.Simulate.ThrottleTime)
+	}
+}
+
+func TestEngineSimulateRequestValidation(t *testing.T) {
+	e := testEngine(t)
+	bad := []Request{
+		{Flow: FlowPlatform, Benchmark: "Bm1", Simulate: &SimulateSpec{}}, // simulate knobs on platform
+		{Flow: FlowSimulate, Benchmark: "Bm1", Simulate: &SimulateSpec{Controller: "bangbang"}},
+		{Flow: FlowSimulate, Benchmark: "Bm1", Simulate: &SimulateSpec{Replicas: -1}},
+		{Flow: FlowSimulate, Benchmark: "Bm1", Simulate: &SimulateSpec{MinFactor: 2}},
+		{Flow: FlowSimulate, Benchmark: "Bm1", Simulate: &SimulateSpec{DT: -1}},
+	}
+	for i, req := range bad {
+		if _, err := e.Run(context.Background(), req); err == nil {
+			t.Errorf("bad simulate request %d accepted: %+v", i, req)
+		}
+	}
+}
+
+// modelKey must key on every Config field: perturbing any one of them
+// yields a distinct cache key, and equal inputs yield equal keys.
+func TestModelKeyDistinctConfigs(t *testing.T) {
+	fp, err := floorplan.Row("pe", 2, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := DefaultThermalConfig()
+	k0 := modelKey(fp, base)
+	if k0 != modelKey(fp, base) {
+		t.Fatal("equal inputs produced different keys")
+	}
+	rv := reflect.TypeOf(base)
+	for i := 0; i < rv.NumField(); i++ {
+		cfg := base
+		f := reflect.ValueOf(&cfg).Elem().Field(i)
+		f.SetFloat(f.Float()*1.5 + 1)
+		if modelKey(fp, cfg) == k0 {
+			t.Errorf("perturbing Config.%s did not change the model key", rv.Field(i).Name)
+		}
+	}
+	fp2, err := floorplan.Row("pe", 3, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if modelKey(fp2, base) == k0 {
+		t.Error("distinct floorplans share a model key")
+	}
+}
+
+// Pin the Config field count: a new field must be added to modelKey's
+// explicit serialization (and then this count bumped), otherwise two
+// configs differing only in the new field would collide in the cache.
+func TestModelKeyCoversConfig(t *testing.T) {
+	if n := reflect.TypeOf(ThermalConfig{}).NumField(); n != 12 {
+		t.Fatalf("hotspot.Config now has %d fields; extend modelKey's explicit serialization and update this pin", n)
+	}
+}
+
+func TestSimulateReplicaCap(t *testing.T) {
+	e := testEngine(t)
+	_, err := e.Run(context.Background(), NewRequest(FlowSimulate,
+		WithBenchmark("Bm1"),
+		WithSimulate(SimulateSpec{Replicas: MaxSimulateReplicas + 1})))
+	if err == nil {
+		t.Fatal("over-limit replica count accepted")
 	}
 }

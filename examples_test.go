@@ -24,6 +24,7 @@ func TestExamplesRun(t *testing.T) {
 		{"./examples/platform_design", "Platform-based design flow"},
 		{"./examples/cosynthesis", "architecture"},
 		{"./examples/thermal_exploration", "leakage feedback"},
+		{"./examples/runtime_dtm", "Closed-loop DTM comparison"},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -17,6 +17,15 @@
 // The paper proper uses only steady-state temperatures; DTM is the
 // natural run-time companion (experiment A3/extension in DESIGN.md) and
 // shows how the static thermal-aware schedule reduces throttling.
+//
+// Note that Run is the *open-loop* variant: it drives a fixed,
+// precomputed power trace through the controller, so throttling scales
+// power but cannot slow execution down — the performance cost is only
+// the denied-energy proxy (RunResult.Slowdown). The closed-loop
+// variant, in which throttling stretches the affected tasks and feeds
+// back into makespan and deadline misses, is internal/runtime (the
+// Engine's "simulate" flow); it consumes this package's Controller
+// implementations directly.
 package dtm
 
 import (

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The run-time acceptance property of the closed-loop subsystem: under
+// identical DTM settings the thermal-aware schedule accumulates less
+// total throttle time than the power-aware (heuristic 3) schedule on at
+// least 3 of the 4 paper benchmarks — the run-time counterpart of the
+// paper's Table 3 steady-state claim.
+func TestDTMTableThermalThrottlesLess(t *testing.T) {
+	s, err := NewSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := s.RunTableDTM(DefaultDTMSettings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Benchmarks) != 4 {
+		t.Fatalf("table covers %d benchmarks, want 4", len(tab.Benchmarks))
+	}
+	for _, label := range tab.Benchmarks {
+		p, th := tab.Power[label], tab.Thermal[label]
+		if p.ThrottleTime <= 0 {
+			t.Errorf("%s: power-aware schedule never throttled — trigger miscalibrated", label)
+		}
+		if p.Makespan <= 0 || th.Makespan <= 0 {
+			t.Errorf("%s: degenerate makespans %+v %+v", label, p, th)
+		}
+	}
+	if wins := tab.ThrottleWins(); wins < 3 {
+		t.Errorf("thermal-aware throttles less on only %d/4 benchmarks\n%s", wins, tab)
+	}
+	if d := tab.MissDelta(); d < 0 {
+		t.Errorf("thermal-aware misses %d more deadlines than power-aware\n%s", -d, tab)
+	}
+	out := tab.String()
+	if !strings.Contains(out, "thermal-aware throttles less") {
+		t.Errorf("summary malformed:\n%s", out)
+	}
+}

@@ -18,14 +18,39 @@ import (
 // task graphs and reports win rates and mean reductions, so the headline
 // claim is backed by a distribution rather than four samples.
 type SweepResult struct {
-	Graphs        int     `json:"graphs"`
-	FeasibleBoth  int     `json:"feasibleBoth"` // graphs where both policies met the deadline
-	MaxWins       int     `json:"maxWins"`      // thermal max-temp wins among FeasibleBoth
-	AvgWins       int     `json:"avgWins"`      // thermal avg-temp wins among FeasibleBoth
-	PowerWins     int     `json:"powerWins"`    // thermal total-power wins among FeasibleBoth
+	Graphs       int `json:"graphs"`
+	FeasibleBoth int `json:"feasibleBoth"` // graphs where both policies met the deadline
+	// Wins are strict: the thermal-aware metric must improve on the
+	// power-aware one by more than WinEpsilon. Graphs where the two
+	// policies land within WinEpsilon of each other — typically because
+	// both produced the identical schedule — are counted as ties, not
+	// wins.
+	MaxWins       int     `json:"maxWins"`   // thermal max-temp wins among FeasibleBoth
+	AvgWins       int     `json:"avgWins"`   // thermal avg-temp wins among FeasibleBoth
+	PowerWins     int     `json:"powerWins"` // thermal total-power wins among FeasibleBoth
+	MaxTies       int     `json:"maxTies"`
+	AvgTies       int     `json:"avgTies"`
+	PowerTies     int     `json:"powerTies"`
 	MeanMaxRed    float64 `json:"meanMaxRedC"`
 	MeanAvgRed    float64 `json:"meanAvgRedC"`
 	MeanPowerRedW float64 `json:"meanPowerRedW"`
+}
+
+// WinEpsilon separates a genuine metric improvement from floating-point
+// noise: deltas within ±WinEpsilon (°C or W) count as ties. Identical
+// schedules produce bit-identical metrics, so any honest improvement
+// clears this comfortably.
+const WinEpsilon = 1e-9
+
+// tallyOutcome classifies one power-minus-thermal delta: a strict win
+// (delta > WinEpsilon), a tie (|delta| ≤ WinEpsilon), or a loss.
+func tallyOutcome(delta float64, wins, ties *int) {
+	switch {
+	case delta > WinEpsilon:
+		*wins++
+	case delta >= -WinEpsilon:
+		*ties++
+	}
 }
 
 // RunSweep generates count random task graphs (sizes spanning the
@@ -90,15 +115,9 @@ func RunSweepWith(ctx context.Context, lib *techlib.Library, count int, seed int
 		res.MeanMaxRed += dMax
 		res.MeanAvgRed += dAvg
 		res.MeanPowerRedW += dPow
-		if dMax >= 0 {
-			res.MaxWins++
-		}
-		if dAvg >= 0 {
-			res.AvgWins++
-		}
-		if dPow >= 0 {
-			res.PowerWins++
-		}
+		tallyOutcome(dMax, &res.MaxWins, &res.MaxTies)
+		tallyOutcome(dAvg, &res.AvgWins, &res.AvgTies)
+		tallyOutcome(dPow, &res.PowerWins, &res.PowerTies)
 	}
 	if res.FeasibleBoth > 0 {
 		n := float64(res.FeasibleBoth)
@@ -118,11 +137,11 @@ func (r *SweepResult) String() string {
 		return b.String()
 	}
 	n := float64(r.FeasibleBoth)
-	fmt.Fprintf(&b, "  thermal wins max temp on %d/%d (%.0f%%), mean reduction %.2f °C\n",
-		r.MaxWins, r.FeasibleBoth, 100*float64(r.MaxWins)/n, r.MeanMaxRed)
-	fmt.Fprintf(&b, "  thermal wins avg temp on %d/%d (%.0f%%), mean reduction %.2f °C\n",
-		r.AvgWins, r.FeasibleBoth, 100*float64(r.AvgWins)/n, r.MeanAvgRed)
-	fmt.Fprintf(&b, "  thermal wins total power on %d/%d (%.0f%%), mean reduction %.2f W\n",
-		r.PowerWins, r.FeasibleBoth, 100*float64(r.PowerWins)/n, r.MeanPowerRedW)
+	fmt.Fprintf(&b, "  thermal wins max temp on %d/%d (%.0f%%, %d ties), mean reduction %.2f °C\n",
+		r.MaxWins, r.FeasibleBoth, 100*float64(r.MaxWins)/n, r.MaxTies, r.MeanMaxRed)
+	fmt.Fprintf(&b, "  thermal wins avg temp on %d/%d (%.0f%%, %d ties), mean reduction %.2f °C\n",
+		r.AvgWins, r.FeasibleBoth, 100*float64(r.AvgWins)/n, r.AvgTies, r.MeanAvgRed)
+	fmt.Fprintf(&b, "  thermal wins total power on %d/%d (%.0f%%, %d ties), mean reduction %.2f W\n",
+		r.PowerWins, r.FeasibleBoth, 100*float64(r.PowerWins)/n, r.PowerTies, r.MeanPowerRedW)
 	return b.String()
 }

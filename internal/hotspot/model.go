@@ -355,6 +355,25 @@ func (m *Model) InfluenceRow(i int) ([]float64, error) {
 	return m.influ[i*m.n : (i+1)*m.n], nil
 }
 
+// SteadyNodeRise solves the steady-state temperature rise of *every*
+// node of the network — die blocks, spreader regions, ring and sink —
+// under per-block powers in node order. The result is the full thermal
+// state a Transient can be warm-started from (Transient.SetRise), so a
+// closed-loop run can begin with the package already at the operating
+// point of a sustained workload instead of at cold ambient.
+func (m *Model) SteadyNodeRise(blockPower []float64) ([]float64, error) {
+	if len(blockPower) != m.n {
+		return nil, fmt.Errorf("hotspot: power vector length %d, want %d", len(blockPower), m.n)
+	}
+	p := make([]float64, m.total)
+	copy(p, blockPower)
+	rise := make([]float64, m.total)
+	if err := m.chol.SolveInto(rise, p); err != nil {
+		return nil, fmt.Errorf("hotspot: steady node solve: %w", err)
+	}
+	return rise, nil
+}
+
 // Conductance exposes the raw conductance matrix (a clone) for tests and
 // diagnostics.
 func (m *Model) Conductance() *linalg.Matrix { return m.g.Clone() }

@@ -44,6 +44,18 @@ func (tr *Transient) Reset() {
 // Time returns the elapsed simulated time in seconds.
 func (tr *Transient) Time() float64 { return tr.now }
 
+// SetRise overwrites the full node state with the given temperature
+// rises over ambient (all nodes, in the model's node layout — the shape
+// Model.SteadyNodeRise returns). It warm-starts a transient at a chosen
+// operating point without advancing time.
+func (tr *Transient) SetRise(rise []float64) error {
+	if len(rise) != len(tr.state) {
+		return fmt.Errorf("hotspot: rise vector length %d, want %d", len(rise), len(tr.state))
+	}
+	copy(tr.state, rise)
+	return nil
+}
+
 // Step advances one time step under the given per-block power map and
 // returns the block temperatures after the step.
 func (tr *Transient) Step(power map[string]float64) (Temps, error) {

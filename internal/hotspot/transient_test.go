@@ -165,3 +165,46 @@ func TestStepVecIntoMatchesStepVecAndDoesNotAllocate(t *testing.T) {
 		t.Errorf("StepVecInto allocates %v per run", n)
 	}
 }
+
+// A transient warm-started from SteadyNodeRise is at a fixed point:
+// stepping it under the same power must not move the block temperatures,
+// and they must match the steady-state solve exactly.
+func TestSetRiseWarmStartIsFixedPoint(t *testing.T) {
+	m := model4(t)
+	power := []float64{4, 2, 1, 3}
+	rise, err := m.SteadyNodeRise(power)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.SteadyStateVec(power)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := m.NewTransient(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.SetRise(rise); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, m.NumBlocks())
+	for step := 0; step < 10; step++ {
+		if err := tr.StepVecInto(got, power); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, name := range m.BlockNames() {
+		w, _ := want.Of(name)
+		if math.Abs(got[i]-w) > 1e-9 {
+			t.Errorf("block %s drifted to %v from steady %v", name, got[i], w)
+		}
+	}
+
+	// Shape errors are rejected.
+	if _, err := m.SteadyNodeRise(power[:2]); err == nil {
+		t.Error("short power vector accepted")
+	}
+	if err := tr.SetRise(rise[:3]); err == nil {
+		t.Error("short rise vector accepted")
+	}
+}

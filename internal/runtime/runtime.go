@@ -1,0 +1,455 @@
+// Package runtime closes the loop between the discrete-event schedule
+// executor (internal/sim), the transient thermal RC model
+// (hotspot.Transient) and a dynamic-thermal-management controller
+// (internal/dtm).
+//
+// The open-loop dtm.Run feeds a *fixed* power trace through the
+// controller: throttling scales power but nothing slows down, so the
+// performance cost of DTM is only a proxy (denied energy). This package
+// models the real feedback: the executor and the thermal model advance
+// in lockstep steps of DT schedule time units, the controller observes
+// the block temperatures after every step, and when it throttles a PE's
+// power by factor s the task currently executing there stretches — its
+// remaining work completes at rate s while drawing s × nominal power.
+// Throttling therefore feeds back into task finish times, downstream
+// ready times, makespan, deadline misses and the subsequent power the
+// die sees, which is exactly how a thermally balanced static schedule
+// pays off at run time: cooler blocks cross the trigger later (or
+// never), accumulate less throttle time, and miss fewer deadlines.
+//
+// Dispatch semantics match internal/sim exactly: the task→PE mapping
+// and each PE's dispatch order come from the static schedule, actual
+// durations and conditional branches come from the same seeded
+// sim.Realize draw, so a closed-loop replica is directly comparable to
+// its open-loop counterpart under the same seed.
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"thermalsched/internal/dtm"
+	"thermalsched/internal/hotspot"
+	"thermalsched/internal/sched"
+	"thermalsched/internal/sim"
+)
+
+// Config parameterizes one closed-loop co-simulation.
+type Config struct {
+	// DT is the co-simulation step in schedule time units: the executor
+	// advances by DT, then the thermal model steps once, then the
+	// controller updates the throttle scales for the next step (a
+	// one-step sensing delay, as in a real DTM loop).
+	DT float64
+	// TimeScale converts one schedule time unit into seconds of thermal
+	// simulation; the transient integrates with step DT × TimeScale.
+	TimeScale float64
+	// Controller throttles per-block power. Nil disables DTM — every PE
+	// runs at full speed, which is the unthrottled reference run.
+	Controller dtm.Controller
+	// Exec seeds the discrete-event executor: MinFactor, Seed and
+	// Conditional have the same meaning (and the same RNG draws) as in
+	// sim.Execute.
+	Exec sim.Options
+	// WarmStart initializes the thermal state to the steady-state
+	// operating point of the schedule's deadline-averaged power instead
+	// of cold ambient, modeling a die that has been running the workload
+	// for a while.
+	WarmStart bool
+	// MaxSteps bounds the stepped loop as a safety net against a
+	// controller that throttles the die to a standstill. Zero derives a
+	// generous default from the static makespan.
+	MaxSteps int
+}
+
+// Validate reports the first invalid configuration field.
+func (c Config) Validate() error {
+	if !(c.DT > 0) {
+		return fmt.Errorf("runtime: step DT must be positive, got %g", c.DT)
+	}
+	if !(c.TimeScale > 0) {
+		return fmt.Errorf("runtime: TimeScale must be positive, got %g", c.TimeScale)
+	}
+	if c.MaxSteps < 0 {
+		return fmt.Errorf("runtime: negative MaxSteps %d", c.MaxSteps)
+	}
+	return c.Exec.Validate()
+}
+
+// Result is the outcome of one closed-loop run.
+type Result struct {
+	// Records holds the realized execution, indexed by task ID; skipped
+	// conditional branches are marked as in sim. Power is the nominal
+	// (unthrottled) draw of the task.
+	Records []sim.TaskRecord
+	// Makespan is the realized completion time in schedule units —
+	// under throttling it exceeds the open-loop makespan of the same
+	// realization.
+	Makespan float64
+	// Energy is the energy actually delivered, Σ scaled power × time.
+	// Because throttling stretches work at conserved energy-per-task it
+	// equals the nominal energy of the executed tasks.
+	Energy float64
+	// PerPEEnergy splits Energy by PE; a PE hosting only skipped
+	// branches contributes exactly zero.
+	PerPEEnergy []float64
+	// Executed counts the tasks that actually ran.
+	Executed int
+	// Steps is the number of co-simulation steps taken.
+	Steps int
+	// PeakTempC is the hottest block temperature observed at any step.
+	PeakTempC float64
+	// ThrottleTime is the total busy PE time spent below full speed, in
+	// schedule units — the run-time cost the static schedule is judged
+	// by. PerPEThrottle splits it by PE.
+	ThrottleTime  float64
+	PerPEThrottle []float64
+	// DeadlineMet reports Makespan ≤ the graph's deadline.
+	DeadlineMet bool
+}
+
+// ctxCheckInterval is how many steps pass between context polls.
+const ctxCheckInterval = 256
+
+// completion tolerance: a task is done when its remaining work falls to
+// a rounding error of its realized duration.
+const workEps = 1e-9
+
+// Simulate runs the schedule under the closed DTM loop. The model must
+// contain a same-named block for every architecture PE (the platform
+// and co-synthesis flows guarantee this). Cancelling ctx aborts the
+// stepped loop promptly.
+func Simulate(ctx context.Context, s *sched.Schedule, model *hotspot.Model, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("runtime: %w", err)
+	}
+	real, err := sim.Realize(s, cfg.Exec)
+	if err != nil {
+		return nil, err
+	}
+
+	// PE → thermal block mapping, by name.
+	names := model.BlockNames()
+	blockOf := make(map[string]int, len(names))
+	for i, n := range names {
+		blockOf[n] = i
+	}
+	nPE := len(s.Arch.PEs)
+	peBlock := make([]int, nPE)
+	for i, pe := range s.Arch.PEs {
+		bi, ok := blockOf[pe.Name]
+		if !ok {
+			return nil, fmt.Errorf("runtime: PE %q has no block in the thermal model", pe.Name)
+		}
+		peBlock[i] = bi
+	}
+
+	tr, err := model.NewTransient(cfg.DT * cfg.TimeScale)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.WarmStart {
+		avg, err := s.PEAveragePower(s.Graph.Deadline)
+		if err != nil {
+			return nil, err
+		}
+		blockAvg := make([]float64, model.NumBlocks())
+		for pe, w := range avg {
+			blockAvg[peBlock[pe]] += w
+		}
+		rise, err := model.SteadyNodeRise(blockAvg)
+		if err != nil {
+			return nil, err
+		}
+		if err := tr.SetRise(rise); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Controller != nil {
+		cfg.Controller.Reset()
+	}
+
+	maxSteps := cfg.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 64*int(math.Ceil(s.Makespan/cfg.DT)) + 4096
+	}
+
+	n := s.Graph.NumTasks()
+	queues := sim.DispatchQueues(s)
+	next := make([]int, nPE)        // per-PE queue cursor
+	running := make([]int, nPE)     // task executing on the PE, or -1
+	remaining := make([]float64, n) // work left, in schedule units at full speed
+	done := make([]bool, n)
+	records := make([]sim.TaskRecord, n)
+	for pe := range running {
+		running[pe] = -1
+	}
+
+	nb := model.NumBlocks()
+	scale := make([]float64, nb) // per-block throttle factors for the current step
+	for i := range scale {
+		scale[i] = 1
+	}
+	stepEnergy := make([]float64, nPE)
+	blockPower := make([]float64, nb)
+	temps := make([]float64, nb)
+
+	res := &Result{
+		Records:       records,
+		PerPEEnergy:   make([]float64, nPE),
+		PerPEThrottle: make([]float64, nPE),
+		PeakTempC:     math.Inf(-1),
+	}
+
+	// readyAt computes when task id's inputs are available on PE pe; ok
+	// is false while any predecessor is still pending. Only fired edges
+	// carry data; skipped predecessors impose no delay — the same rule
+	// sim.Execute dispatches by.
+	readyAt := func(id, pe int) (float64, bool) {
+		t := 0.0
+		for _, e := range s.Graph.Predecessors(id) {
+			if !done[e.From] {
+				return 0, false
+			}
+			if !real.Fired(e.From, e.To) || records[e.From].Skipped {
+				continue
+			}
+			r := records[e.From].Finish
+			if records[e.From].PE != pe {
+				r += e.Data * s.Arch.BusTimePerUnit
+			}
+			if r > t {
+				t = r
+			}
+		}
+		return t, true
+	}
+
+	completed := 0
+	now := 0.0
+	for completed < n {
+		if res.Steps >= maxSteps {
+			return nil, fmt.Errorf("runtime: %d/%d tasks after %d steps — controller throttled the run to a standstill", completed, n, res.Steps)
+		}
+		if res.Steps%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("runtime: simulation cancelled: %w", err)
+			}
+		}
+		stepEnd := now + cfg.DT
+		for pe := range stepEnergy {
+			stepEnergy[pe] = 0
+		}
+
+		// Micro event loop inside [now, stepEnd): dispatch ready tasks,
+		// advance running ones at their PE's throttle rate, process
+		// completions, repeat. Scales are frozen for the step.
+		t := now
+		for {
+			// Dispatch to fixpoint: skipped branches complete instantly
+			// (which can unblock heads on other PEs within the same
+			// instant); runnable heads start once their inputs have
+			// arrived.
+			for progressed := true; progressed; {
+				progressed = false
+				for pe := range queues {
+					for running[pe] < 0 && next[pe] < len(queues[pe]) {
+						id := queues[pe][next[pe]]
+						if !real.Executes[id] {
+							records[id] = sim.TaskRecord{Task: id, PE: pe, Skipped: true}
+							done[id] = true
+							next[pe]++
+							completed++
+							progressed = true
+							continue
+						}
+						ready, ok := readyAt(id, pe)
+						if !ok || ready > t {
+							break
+						}
+						records[id] = sim.TaskRecord{
+							Task: id, PE: pe, Start: t,
+							Power: s.Assignments[id].Power,
+						}
+						remaining[id] = real.Actual[id]
+						running[pe] = id
+						next[pe]++
+						progressed = true
+					}
+				}
+			}
+			if completed == n {
+				break
+			}
+
+			// Next event: earliest completion or upcoming ready time,
+			// capped at the step boundary.
+			event := stepEnd
+			for pe, id := range running {
+				if id < 0 {
+					continue
+				}
+				speed := scale[peBlock[pe]]
+				if speed <= 0 {
+					continue // stalled; can only resume after the controller relents
+				}
+				if fin := t + remaining[id]/speed; fin < event {
+					event = fin
+				}
+			}
+			for pe := range queues {
+				if running[pe] >= 0 || next[pe] >= len(queues[pe]) {
+					continue
+				}
+				id := queues[pe][next[pe]]
+				if !real.Executes[id] {
+					continue // handled by dispatch above
+				}
+				if ready, ok := readyAt(id, pe); ok && ready > t && ready < event {
+					event = ready
+				}
+			}
+
+			// Advance all running tasks to the event, accumulating the
+			// scaled energy and the throttled busy time.
+			dt := event - t
+			if dt > 0 {
+				for pe, id := range running {
+					if id < 0 {
+						continue
+					}
+					speed := scale[peBlock[pe]]
+					remaining[id] -= speed * dt
+					w := records[id].Power
+					stepEnergy[pe] += w * speed * dt
+					if speed < 1 {
+						res.PerPEThrottle[pe] += dt
+					}
+				}
+			}
+			t = event
+
+			// Completions at the event instant.
+			for pe, id := range running {
+				if id < 0 {
+					continue
+				}
+				if remaining[id] <= workEps*math.Max(1, real.Actual[id]) {
+					records[id].Finish = t
+					done[id] = true
+					running[pe] = -1
+					completed++
+				}
+			}
+			if t >= stepEnd {
+				break
+			}
+		}
+
+		// Thermal step over the energy the PEs actually drew, then the
+		// controller sets the next step's scales.
+		for i := range blockPower {
+			blockPower[i] = 0
+		}
+		for pe, e := range stepEnergy {
+			blockPower[peBlock[pe]] += e / cfg.DT
+			res.PerPEEnergy[pe] += e
+			res.Energy += e
+		}
+		if err := tr.StepVecInto(temps, blockPower); err != nil {
+			return nil, err
+		}
+		for _, tc := range temps {
+			if tc > res.PeakTempC {
+				res.PeakTempC = tc
+			}
+		}
+		if cfg.Controller != nil {
+			if err := cfg.Controller.ScaleInto(scale, temps); err != nil {
+				return nil, err
+			}
+		}
+		res.Steps++
+		now = stepEnd
+	}
+
+	for _, r := range records {
+		if r.Skipped {
+			continue
+		}
+		res.Executed++
+		if r.Finish > res.Makespan {
+			res.Makespan = r.Finish
+		}
+	}
+	for _, th := range res.PerPEThrottle {
+		res.ThrottleTime += th
+	}
+	res.DeadlineMet = res.Makespan <= s.Graph.Deadline
+	if res.Steps == 0 { // empty graph corner: never stepped, peak is ambient
+		res.PeakTempC = model.Config().AmbientC
+	}
+	return res, nil
+}
+
+// Validate cross-checks the realized execution against the schedule's
+// structure: every executed task ran on its assigned PE without
+// overlap, and every fired precedence edge (with bus delay) was
+// honoured. Throttling may stretch tasks, so durations are only checked
+// to be at least the realized work.
+func (r *Result) Validate(s *sched.Schedule) error {
+	const tol = 1e-9
+	n := s.Graph.NumTasks()
+	if len(r.Records) != n {
+		return fmt.Errorf("runtime: %d records for %d tasks", len(r.Records), n)
+	}
+	for id, rec := range r.Records {
+		if rec.Task != id {
+			return fmt.Errorf("runtime: record %d holds task %d", id, rec.Task)
+		}
+		if rec.PE != s.Assignments[id].PE {
+			return fmt.Errorf("runtime: task %d migrated from its assigned PE", id)
+		}
+		if rec.Skipped {
+			continue
+		}
+		if rec.Finish < rec.Start-tol {
+			return fmt.Errorf("runtime: task %d has negative duration", id)
+		}
+	}
+	for _, e := range s.Graph.Edges() {
+		from, to := r.Records[e.From], r.Records[e.To]
+		if from.Skipped || to.Skipped {
+			continue
+		}
+		ready := from.Finish
+		if from.PE != to.PE {
+			ready += e.Data * s.Arch.BusTimePerUnit
+		}
+		if to.Start < ready-tol {
+			return fmt.Errorf("runtime: edge %d->%d violated", e.From, e.To)
+		}
+	}
+	byPE := make(map[int][]sim.TaskRecord)
+	for _, rec := range r.Records {
+		if rec.Skipped {
+			continue
+		}
+		byPE[rec.PE] = append(byPE[rec.PE], rec)
+	}
+	for pe, recs := range byPE {
+		for i := range recs {
+			for j := i + 1; j < len(recs); j++ {
+				a, b := recs[i], recs[j]
+				if a.Start < b.Finish-tol && b.Start < a.Finish-tol {
+					return fmt.Errorf("runtime: tasks %d and %d overlap on PE %d", a.Task, b.Task, pe)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -14,6 +14,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -21,6 +22,15 @@ import (
 
 	"thermalsched"
 )
+
+// engineAPI is the slice of thermalsched.Engine the service consumes.
+// It exists so tests can substitute a failing engine; production code
+// always passes a real *thermalsched.Engine through New.
+type engineAPI interface {
+	Run(ctx context.Context, req thermalsched.Request) (*thermalsched.Response, error)
+	RunBatch(ctx context.Context, reqs []thermalsched.Request) ([]*thermalsched.Response, error)
+	ModelCacheStats() (hits, misses uint64, size int)
+}
 
 // Config tunes the service.
 type Config struct {
@@ -68,7 +78,7 @@ func (c Config) Validate() error {
 // Service routes scheduling requests to an Engine under a concurrency
 // limit. Construct with New; it is safe for concurrent use.
 type Service struct {
-	engine *thermalsched.Engine
+	engine engineAPI
 	cfg    Config
 	slots  chan struct{} // counting semaphore, one slot per running request
 }
@@ -78,6 +88,10 @@ func New(engine *thermalsched.Engine, cfg Config) (*Service, error) {
 	if engine == nil {
 		return nil, fmt.Errorf("service: nil engine")
 	}
+	return newWith(engine, cfg)
+}
+
+func newWith(engine engineAPI, cfg Config) (*Service, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -186,8 +200,14 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// semaphore treats the batch as one unit of admission so a single
 	// large batch cannot starve /v1/run callers of all slots.
 	resps, err := s.engine.RunBatch(r.Context(), reqs)
-	if err != nil && r.Context().Err() != nil {
-		return // client cancelled; partial results are moot
+	if err != nil {
+		if r.Context().Err() != nil {
+			return // client cancelled; partial results are moot
+		}
+		// Engine-level failure with a live client: report it. Falling
+		// through here used to emit HTTP 200 with a null body.
+		writeError(w, http.StatusInternalServerError, err)
+		return
 	}
 	writeJSON(w, http.StatusOK, resps)
 }

@@ -2,7 +2,9 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -87,6 +89,76 @@ func TestServeBatch(t *testing.T) {
 	}
 	if out[0].Graph != "Bm1" || out[1].Graph != "Bm2" {
 		t.Errorf("batch order not preserved: %s, %s", out[0].Graph, out[1].Graph)
+	}
+}
+
+// End-to-end: the closed-loop simulate flow over HTTP/JSON.
+func TestServeRunSimulate(t *testing.T) {
+	srv := testServer(t, Config{})
+	resp, body := post(t, srv.URL+"/v1/run",
+		`{"flow":"simulate","benchmark":"Bm1","policy":"thermal","simulate":{"replicas":2,"seed":3,"minFactor":0.8}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out thermalsched.Response
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("decoding response: %v\n%s", err, body)
+	}
+	s := out.Simulate
+	if s == nil {
+		t.Fatalf("simulate response missing report: %s", body)
+	}
+	if s.Replicas != 2 || s.Controller != "toggle" {
+		t.Errorf("report header wrong: %+v", s)
+	}
+	if s.Makespan.Max < s.Makespan.Min || s.Makespan.Mean <= 0 {
+		t.Errorf("degenerate makespan stats: %+v", s.Makespan)
+	}
+	if s.PeakTempC.Min <= 45 {
+		t.Errorf("peak temp %v not above ambient", s.PeakTempC.Min)
+	}
+}
+
+// failingEngine stands in for an Engine whose RunBatch fails while the
+// client is still connected.
+type failingEngine struct{ err error }
+
+func (f *failingEngine) Run(context.Context, thermalsched.Request) (*thermalsched.Response, error) {
+	return nil, f.err
+}
+
+func (f *failingEngine) RunBatch(context.Context, []thermalsched.Request) ([]*thermalsched.Response, error) {
+	return nil, f.err
+}
+
+func (f *failingEngine) ModelCacheStats() (uint64, uint64, int) { return 0, 0, 0 }
+
+// Regression: an engine-level batch failure with a live client must
+// surface as a 500 JSON error envelope, never as HTTP 200 with a null
+// body.
+func TestServeBatchEngineFailure(t *testing.T) {
+	svc, err := newWith(&failingEngine{err: errors.New("engine exploded")}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(srv.Close)
+
+	resp, body := post(t, srv.URL+"/v1/batch", `[{"flow":"platform","benchmark":"Bm1"}]`)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500 (%s)", resp.StatusCode, body)
+	}
+	if strings.TrimSpace(string(body)) == "null" {
+		t.Fatal("batch failure produced a null body")
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("missing error envelope: %s", body)
+	}
+	if !strings.Contains(e.Error, "engine exploded") {
+		t.Errorf("envelope lost the cause: %q", e.Error)
 	}
 }
 

@@ -66,16 +66,35 @@ type Result struct {
 	fired map[[2]int]bool // realized edges, for Validate
 }
 
-// Execute replays the schedule under the options. The task→PE mapping
-// and the per-PE dispatch order are taken from the schedule; start times
-// are recomputed event-style from actual durations and communication
-// delays.
-func Execute(s *sched.Schedule, opt Options) (*Result, error) {
+// Realization is the seeded random draw one simulated execution runs
+// under: per-task actual durations and, for conditional graphs, the
+// realized branch decisions. Drawing it separately from replaying it
+// lets the open-loop executor (Execute) and the closed-loop runtime
+// co-simulator (internal/runtime) share one deterministic-seed
+// contract: the same schedule, options and seed realize identical
+// durations and branches in both, so open- and closed-loop results of
+// the same replica are directly comparable.
+type Realization struct {
+	// Actual is the realized duration of each task, indexed by task ID
+	// (WCET × uniform[MinFactor, 1], drawn in task-ID order).
+	Actual []float64
+	// Executes marks tasks whose branch was taken; always all-true for
+	// unconditional runs.
+	Executes []bool
+
+	fired map[[2]int]bool
+}
+
+// Fired reports whether the edge from→to carried data in this
+// realization (its source executed and, for conditional edges, its
+// branch was drawn).
+func (r *Realization) Fired(from, to int) bool { return r.fired[[2]int{from, to}] }
+
+// Realize draws the seeded execution-time factors and branch decisions
+// for one run of the schedule.
+func Realize(s *sched.Schedule, opt Options) (*Realization, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
-	}
-	if err := s.Validate(); err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 	n := s.Graph.NumTasks()
@@ -135,10 +154,17 @@ func Execute(s *sched.Schedule, opt Options) (*Result, error) {
 			firedEdge[[2]int{e.From, e.To}] = true
 		}
 	}
+	return &Realization{Actual: actual, Executes: executes, fired: firedEdge}, nil
+}
 
-	// Per-PE dispatch queues in static start order.
+// DispatchQueues returns the per-PE dispatch order implied by the
+// schedule: task IDs grouped by assigned PE, each queue sorted by static
+// start time. Both the open-loop executor and the closed-loop runtime
+// dispatch in exactly this order, so throttling can stretch tasks but
+// never reorder them.
+func DispatchQueues(s *sched.Schedule) [][]int {
 	queues := make([][]int, len(s.Arch.PEs))
-	for id := 0; id < n; id++ {
+	for id := 0; id < s.Graph.NumTasks(); id++ {
 		pe := s.Assignments[id].PE
 		queues[pe] = append(queues[pe], id)
 	}
@@ -148,6 +174,26 @@ func Execute(s *sched.Schedule, opt Options) (*Result, error) {
 			return s.Assignments[q[i]].Start < s.Assignments[q[j]].Start
 		})
 	}
+	return queues
+}
+
+// Execute replays the schedule under the options. The task→PE mapping
+// and the per-PE dispatch order are taken from the schedule; start times
+// are recomputed event-style from actual durations and communication
+// delays.
+func Execute(s *sched.Schedule, opt Options) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	real, err := Realize(s, opt)
+	if err != nil {
+		return nil, err
+	}
+	n := s.Graph.NumTasks()
+	actual, executes, firedEdge := real.Actual, real.Executes, real.fired
+
+	// Per-PE dispatch queues in static start order.
+	queues := DispatchQueues(s)
 
 	records := make([]TaskRecord, n)
 	done := make([]bool, n)

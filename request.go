@@ -26,13 +26,23 @@ const (
 	FlowSweep FlowKind = "sweep"
 	// FlowDTM schedules on the platform, replays the schedule in the
 	// discrete-event executor, and drives the transient thermal model
-	// under a dynamic-thermal-management controller.
+	// under a dynamic-thermal-management controller. The power trace is
+	// fixed before the controller sees it (open loop): throttling scales
+	// power but cannot slow execution down. FlowSimulate is the
+	// closed-loop counterpart.
 	FlowDTM FlowKind = "dtm"
+	// FlowSimulate schedules on the platform and then co-simulates the
+	// schedule, the transient thermal model and a DTM controller in
+	// lockstep (closed loop): throttling stretches the affected tasks,
+	// feeding back into makespan, deadline misses and subsequent power.
+	// With Replicas > 1 it fans seeded Monte-Carlo runs across the
+	// engine's worker pool and reports percentile statistics.
+	FlowSimulate FlowKind = "simulate"
 )
 
 // FlowKinds lists every flow an Engine accepts.
 func FlowKinds() []FlowKind {
-	return []FlowKind{FlowPlatform, FlowCoSynthesis, FlowSweep, FlowDTM}
+	return []FlowKind{FlowPlatform, FlowCoSynthesis, FlowSweep, FlowDTM, FlowSimulate}
 }
 
 // TaskSpec is the serializable form of one task-graph node.
@@ -165,6 +175,98 @@ func (s *DTMSpec) withDefaults() DTMSpec {
 	return out
 }
 
+// SimulateSpec parameterizes the FlowSimulate closed-loop co-simulation.
+// The zero value uses the documented defaults.
+type SimulateSpec struct {
+	// Controller is "toggle" (default), "pi", or "none" (no throttling —
+	// the unthrottled reference run).
+	Controller string `json:"controller,omitempty"`
+	// TriggerC, Hysteresis and Throttle parameterize the toggle
+	// controller. Defaults: 80 °C trigger, 2 °C hysteresis, 0.5 throttle
+	// — the trigger sits just below the paper benchmarks' steady-state
+	// peaks, so a thermally unbalanced schedule throttles visibly.
+	TriggerC   float64 `json:"triggerC,omitempty"`
+	Hysteresis float64 `json:"hysteresis,omitempty"`
+	Throttle   float64 `json:"throttle,omitempty"`
+	// SetpointC, Kp, Ki and MinScale parameterize the PI controller.
+	// Defaults: 80 °C setpoint, Kp 0.05, Ki 0.002, MinScale 0.1.
+	SetpointC float64 `json:"setpointC,omitempty"`
+	Kp        float64 `json:"kp,omitempty"`
+	Ki        float64 `json:"ki,omitempty"`
+	MinScale  float64 `json:"minScale,omitempty"`
+	// DT is the co-simulation step in schedule time units (default 1);
+	// TimeScale converts one schedule time unit to seconds of transient
+	// simulation (default 0.1).
+	DT        float64 `json:"dt,omitempty"`
+	TimeScale float64 `json:"timeScale,omitempty"`
+	// MinFactor is the executor's execution-time factor lower bound in
+	// (0, 1] (default 1: replay the worst case); Seed drives the
+	// per-task factors and branch draws of replica 0 (replica i uses
+	// Seed + i).
+	MinFactor float64 `json:"minFactor,omitempty"`
+	Seed      int64   `json:"seed,omitempty"`
+	// Conditional enables conditional-task-graph execution: branches
+	// fire with their annotated probabilities and skipped tasks draw no
+	// power.
+	Conditional bool `json:"conditional,omitempty"`
+	// WarmStart initializes the thermal state at the schedule's
+	// steady-state operating point instead of cold ambient.
+	WarmStart bool `json:"warmStart,omitempty"`
+	// Replicas is the number of seeded Monte-Carlo runs to fan across
+	// the engine's worker pool (default 1, at most
+	// MaxSimulateReplicas).
+	Replicas int `json:"replicas,omitempty"`
+}
+
+// MaxSimulateReplicas caps SimulateSpec.Replicas: each replica is a
+// full co-simulation with its own transient state, so an unbounded
+// count would let a single service request monopolize the process.
+const MaxSimulateReplicas = 4096
+
+func (s *SimulateSpec) withDefaults() SimulateSpec {
+	out := SimulateSpec{}
+	if s != nil {
+		out = *s
+	}
+	if out.Controller == "" {
+		out.Controller = "toggle"
+	}
+	if out.TriggerC == 0 {
+		out.TriggerC = 80
+	}
+	if out.Hysteresis == 0 {
+		out.Hysteresis = 2
+	}
+	if out.Throttle == 0 {
+		out.Throttle = 0.5
+	}
+	if out.SetpointC == 0 {
+		out.SetpointC = 80
+	}
+	if out.Kp == 0 {
+		out.Kp = 0.05
+	}
+	if out.Ki == 0 {
+		out.Ki = 0.002
+	}
+	if out.MinScale == 0 {
+		out.MinScale = 0.1
+	}
+	if out.DT == 0 {
+		out.DT = 1
+	}
+	if out.TimeScale == 0 {
+		out.TimeScale = 0.1
+	}
+	if out.MinFactor == 0 {
+		out.MinFactor = 1
+	}
+	if out.Replicas == 0 {
+		out.Replicas = 1
+	}
+	return out
+}
+
 // Request is one JSON-serializable unit of work for an Engine. Build it
 // literally, decode it from JSON, or assemble it with NewRequest and the
 // With* functional options. Zero-valued knobs mean "use the calibrated
@@ -209,6 +311,10 @@ type Request struct {
 
 	// DTM tunes FlowDTM; nil uses the defaults documented on DTMSpec.
 	DTM *DTMSpec `json:"dtm,omitempty"`
+
+	// Simulate tunes FlowSimulate; nil uses the defaults documented on
+	// SimulateSpec.
+	Simulate *SimulateSpec `json:"simulate,omitempty"`
 
 	// IncludeGantt asks for the schedule's per-PE timeline in
 	// Response.Gantt (platform and cosynthesis flows).
@@ -304,6 +410,22 @@ func WithDTM(spec DTMSpec) RequestOption {
 	return func(r *Request) { r.DTM = &spec }
 }
 
+// WithSimulate tunes the FlowSimulate closed-loop co-simulation.
+func WithSimulate(spec SimulateSpec) RequestOption {
+	return func(r *Request) { r.Simulate = &spec }
+}
+
+// WithReplicas sets FlowSimulate's Monte-Carlo replica count, keeping
+// any other simulate settings already on the request.
+func WithReplicas(n int) RequestOption {
+	return func(r *Request) {
+		if r.Simulate == nil {
+			r.Simulate = &SimulateSpec{}
+		}
+		r.Simulate.Replicas = n
+	}
+}
+
 // WithGantt asks for the schedule's per-PE timeline in the response.
 func WithGantt() RequestOption {
 	return func(r *Request) { r.IncludeGantt = true }
@@ -322,7 +444,7 @@ func (r *Request) policy() (Policy, error) {
 // accepting work so malformed requests fail fast with a clear message.
 func (r *Request) Validate() error {
 	switch r.Flow {
-	case FlowPlatform, FlowCoSynthesis, FlowSweep, FlowDTM:
+	case FlowPlatform, FlowCoSynthesis, FlowSweep, FlowDTM, FlowSimulate:
 	case "":
 		return fmt.Errorf("thermalsched: request missing flow (want one of %v)", FlowKinds())
 	default:
@@ -377,6 +499,28 @@ func (r *Request) Validate() error {
 		case "", "toggle", "pi":
 		default:
 			return fmt.Errorf("thermalsched: unknown DTM controller %q (want toggle or pi)", r.DTM.Controller)
+		}
+	}
+	if r.Simulate != nil && r.Flow != FlowSimulate {
+		return fmt.Errorf("thermalsched: simulate parameters on a %q request", r.Flow)
+	}
+	if s := r.Simulate; s != nil {
+		switch s.Controller {
+		case "", "toggle", "pi", "none":
+		default:
+			return fmt.Errorf("thermalsched: unknown simulate controller %q (want toggle, pi or none)", s.Controller)
+		}
+		if s.Replicas < 0 {
+			return fmt.Errorf("thermalsched: negative replica count %d", s.Replicas)
+		}
+		if s.Replicas > MaxSimulateReplicas {
+			return fmt.Errorf("thermalsched: %d replicas exceed the limit %d", s.Replicas, MaxSimulateReplicas)
+		}
+		if s.DT < 0 || s.TimeScale < 0 {
+			return fmt.Errorf("thermalsched: negative simulate step (dt %g, timeScale %g)", s.DT, s.TimeScale)
+		}
+		if s.MinFactor < 0 || s.MinFactor > 1 {
+			return fmt.Errorf("thermalsched: simulate MinFactor %g out of (0, 1]", s.MinFactor)
 		}
 	}
 	return nil

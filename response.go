@@ -1,6 +1,8 @@
 package thermalsched
 
 import (
+	"math"
+	"sort"
 	"strings"
 
 	"thermalsched/internal/cosynth"
@@ -35,6 +37,67 @@ type DTMReport struct {
 	Slowdown float64 `json:"slowdown"`
 }
 
+// Stats summarizes one metric across Monte-Carlo replicas. Percentiles
+// use the nearest-rank method over the sorted replica values.
+type Stats struct {
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	Max  float64 `json:"max"`
+}
+
+// statsOf computes replica statistics. vals is sorted in place.
+func statsOf(vals []float64) Stats {
+	if len(vals) == 0 {
+		return Stats{}
+	}
+	sort.Float64s(vals)
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	rank := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(len(vals)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return vals[i]
+	}
+	return Stats{
+		Mean: sum / float64(len(vals)),
+		Min:  vals[0],
+		P50:  rank(0.50),
+		P90:  rank(0.90),
+		Max:  vals[len(vals)-1],
+	}
+}
+
+// SimulateReport summarizes a FlowSimulate closed-loop co-simulation
+// over its Monte-Carlo replicas.
+type SimulateReport struct {
+	Controller string `json:"controller"`
+	Replicas   int    `json:"replicas"`
+	// StaticMakespan is the WCET schedule's makespan; Deadline the task
+	// graph's deadline, both in schedule time units.
+	StaticMakespan float64 `json:"staticMakespan"`
+	Deadline       float64 `json:"deadline"`
+	// Makespan, PeakTempC and ThrottleTime aggregate the replicas'
+	// realized makespans (schedule units), hottest observed block
+	// temperatures (°C) and total busy time spent throttled (schedule
+	// units, summed over PEs).
+	Makespan     Stats `json:"makespan"`
+	PeakTempC    Stats `json:"peakTempC"`
+	ThrottleTime Stats `json:"throttleTime"`
+	// DeadlineMissRate is the fraction of replicas whose realized
+	// makespan exceeded the deadline.
+	DeadlineMissRate float64 `json:"deadlineMissRate"`
+	// MeanSteps is the average number of co-simulation steps per replica.
+	MeanSteps float64 `json:"meanSteps"`
+	// MeanEnergy is the average delivered energy per replica.
+	MeanEnergy float64 `json:"meanEnergy"`
+}
+
 // Response is the JSON-serializable outcome of one Engine request. The
 // CLI's -json mode and the thermschedd service emit exactly this schema.
 type Response struct {
@@ -58,6 +121,8 @@ type Response struct {
 	Sweep *SweepResult `json:"sweep,omitempty"`
 	// DTM carries the FlowDTM transient summary.
 	DTM *DTMReport `json:"dtm,omitempty"`
+	// Simulate carries the FlowSimulate closed-loop summary.
+	Simulate *SimulateReport `json:"simulate,omitempty"`
 	// ElapsedMS is the server-side wall-clock cost of the run.
 	ElapsedMS float64 `json:"elapsedMs"`
 	// Error is set instead of the payload fields when a batch entry or

@@ -1,0 +1,95 @@
+package thermalsched_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os/exec"
+	"testing"
+
+	"thermalsched"
+	"thermalsched/internal/service"
+)
+
+// The simulate flow must round-trip identically through every surface:
+// Engine.Run in-process, POST /v1/run over the service, and the CLI's
+// -json mode all emit the same Response for the same seeded request
+// (modulo the wall-clock elapsedMs field).
+func TestSimulateResponseIdenticalAcrossSurfaces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI subprocess skipped in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+
+	req := thermalsched.NewRequest(thermalsched.FlowSimulate,
+		thermalsched.WithBenchmark("Bm2"),
+		thermalsched.WithPolicy(thermalsched.ThermalAware),
+		thermalsched.WithSimulate(thermalsched.SimulateSpec{Replicas: 3, Seed: 5, MinFactor: 0.8}),
+	)
+
+	normalize := func(resp *thermalsched.Response) string {
+		resp.ElapsedMS = 0
+		blob, err := json.Marshal(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(blob)
+	}
+
+	// Surface 1: in-process Engine.
+	engine, err := thermalsched.NewEngine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := engine.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := normalize(direct)
+
+	// Surface 2: the HTTP service.
+	svc, err := service.New(engine, service.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpResp, err := http.Post(srv.URL+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("service status %d", httpResp.StatusCode)
+	}
+	var served thermalsched.Response
+	if err := json.NewDecoder(httpResp.Body).Decode(&served); err != nil {
+		t.Fatal(err)
+	}
+	if got := normalize(&served); got != wantJSON {
+		t.Errorf("service response diverges from Engine.Run:\n  engine  %s\n  service %s", wantJSON, got)
+	}
+
+	// Surface 3: the CLI's -json mode.
+	out, err := exec.Command("go", "run", "./cmd/thermsched",
+		"-flow", "simulate", "-benchmark", "Bm2", "-policy", "thermal",
+		"-replicas", "3", "-seed", "5", "-minfactor", "0.8", "-json").CombinedOutput()
+	if err != nil {
+		t.Fatalf("CLI failed: %v\n%s", err, out)
+	}
+	var cli thermalsched.Response
+	if err := json.Unmarshal(out, &cli); err != nil {
+		t.Fatalf("decoding CLI output: %v\n%s", err, out)
+	}
+	if got := normalize(&cli); got != wantJSON {
+		t.Errorf("CLI response diverges from Engine.Run:\n  engine %s\n  cli    %s", wantJSON, got)
+	}
+}
