@@ -1,6 +1,7 @@
 package thermalsched
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -565,6 +566,44 @@ func BenchmarkConditionalTaskGraphs(b *testing.B) {
 			}
 			b.Logf("CTG: %d/%d tasks executed, realized energy %.0f, expected %.0f, worst case %.0f",
 				res.Executed, g.NumTasks(), res.Energy, exp, run.Schedule.TotalEnergy())
+		}
+	}
+}
+
+// BenchmarkScenarioGenerate measures synthetic-scenario generation —
+// the setup cost a campaign pays once per scenario (then amortized via
+// the Engine's fingerprint cache).
+func BenchmarkScenarioGenerate(b *testing.B) {
+	for _, n := range []int{50, 500} {
+		b.Run(fmt.Sprintf("tasks=%d", n), func(b *testing.B) {
+			spec := ScenarioSpec{
+				Graph:    ScenarioGraphParams{Tasks: n},
+				Platform: ScenarioPlatformParams{PEs: 8, MinSpeed: 0.6, MaxSpeed: 2.0},
+			}
+			for i := 0; i < b.N; i++ {
+				spec.Seed = int64(i)
+				if _, err := GenerateScenario(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCampaign measures a small end-to-end campaign: scenario
+// generation, the policy grid on the worker pool, and aggregation.
+func BenchmarkCampaign(b *testing.B) {
+	e, err := NewEngine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := NewRequest(FlowCampaign, WithCampaign(CampaignSpec{
+		Scenarios: 4, Seed: 1, MinTasks: 20, MaxTasks: 40,
+	}))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(context.Background(), req); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -1,0 +1,162 @@
+// Command benchdiff compares `go test -bench` output against one of
+// the repository's checked-in BENCH_*.json baselines and reports
+// regressions of the recorded hot paths. It is the nightly benchmark
+// workflow's gatekeeper: benchmarks that regress more than the
+// tolerance emit GitHub Actions warning annotations (or fail the run
+// with -strict).
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | tee bench.txt
+//	benchdiff -baseline BENCH_2.json bench.txt
+//	benchdiff -baseline BENCH_2.json -tolerance 0.10 -strict bench.txt
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// baseline mirrors the BENCH_*.json schema: benchmark name to the
+// recorded operation cost. Entries without an "after" block (notes,
+// ablations) are skipped.
+type baseline struct {
+	Description string                    `json:"description"`
+	Benchmarks  map[string]*baselineEntry `json:"benchmarks"`
+}
+
+type baselineEntry struct {
+	After *struct {
+		NsOp float64 `json:"ns_op"`
+	} `json:"after"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkSchedulerPolicies/thermal-8   16713   69042 ns/op   15696 B/op   102 allocs/op
+//
+// The trailing -N GOMAXPROCS suffix is stripped so names match the
+// baseline keys.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// parseBench extracts name → ns/op from bench output. Duplicate names
+// (e.g. -count > 1) keep the best run, matching benchstat's
+// noise-resistant reading.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchdiff: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		if prev, ok := out[m[1]]; !ok || ns < prev {
+			out[m[1]] = ns
+		}
+	}
+	return out, sc.Err()
+}
+
+// result is one compared benchmark.
+type result struct {
+	name               string
+	baseNs, gotNs      float64
+	ratio              float64 // gotNs / baseNs
+	regressed, missing bool
+}
+
+// compare evaluates the bench results against the baseline's recorded
+// hot paths.
+func compare(base *baseline, got map[string]float64, tolerance float64) []result {
+	var out []result
+	for name, entry := range base.Benchmarks {
+		if entry == nil || entry.After == nil || entry.After.NsOp <= 0 {
+			continue // annotation-only entries carry no comparable number
+		}
+		r := result{name: name, baseNs: entry.After.NsOp}
+		ns, ok := got[name]
+		if !ok {
+			r.missing = true
+		} else {
+			r.gotNs = ns
+			r.ratio = ns / r.baseNs
+			r.regressed = r.ratio > 1+tolerance
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_2.json", "baseline JSON file")
+		tolerance    = flag.Float64("tolerance", 0.10, "allowed ns/op growth before a benchmark counts as regressed")
+		strict       = flag.Bool("strict", false, "exit non-zero on regressions instead of warning")
+	)
+	flag.Parse()
+
+	blob, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base baseline
+	if err := json.Unmarshal(blob, &base); err != nil {
+		fatal(fmt.Errorf("benchdiff: parsing %s: %w", *baselinePath, err))
+	}
+
+	in := io.Reader(os.Stdin)
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	got, err := parseBench(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(got) == 0 {
+		fatal(fmt.Errorf("benchdiff: no benchmark lines in input"))
+	}
+
+	regressions := 0
+	for _, r := range compare(&base, got, *tolerance) {
+		switch {
+		case r.missing:
+			fmt.Printf("::warning::benchdiff: %s is in the baseline but did not run\n", r.name)
+		case r.regressed:
+			regressions++
+			fmt.Printf("::warning::benchdiff: %s regressed %.0f%%: %.0f ns/op vs baseline %.0f ns/op\n",
+				r.name, 100*(r.ratio-1), r.gotNs, r.baseNs)
+		default:
+			fmt.Printf("benchdiff: %s ok: %.0f ns/op vs baseline %.0f ns/op (%.2fx)\n",
+				r.name, r.gotNs, r.baseNs, r.ratio)
+		}
+	}
+	if regressions > 0 {
+		fmt.Printf("benchdiff: %d benchmark(s) regressed beyond %.0f%% of %s\n",
+			regressions, 100**tolerance, *baselinePath)
+		if *strict {
+			os.Exit(1)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: thermalsched
+BenchmarkHotSpotSteadyState-8        	 7654321	       160 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSchedulerPolicies/thermal-8 	   16713	     69042 ns/op	   15696 B/op	     102 allocs/op
+BenchmarkSchedulerPolicies/baseline-8	   36000	     90000.5 ns/op
+PASS
+ok  	thermalsched	12.3s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkHotSpotSteadyState":         160,
+		"BenchmarkSchedulerPolicies/thermal":  69042,
+		"BenchmarkSchedulerPolicies/baseline": 90000.5,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %g ns/op, want %g", name, got[name], ns)
+		}
+	}
+}
+
+func TestParseBenchKeepsBestOfRepeats(t *testing.T) {
+	in := "BenchmarkX-8 10 200 ns/op\nBenchmarkX-8 10 150 ns/op\nBenchmarkX-8 10 180 ns/op\n"
+	got, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkX"] != 150 {
+		t.Errorf("BenchmarkX = %g, want the best run 150", got["BenchmarkX"])
+	}
+}
+
+func testBaseline(t *testing.T) *baseline {
+	t.Helper()
+	blob := `{
+		"benchmarks": {
+			"BenchmarkHotSpotSteadyState": {"after": {"ns_op": 156}},
+			"BenchmarkSchedulerPolicies/thermal": {"after": {"ns_op": 69000}},
+			"BenchmarkGone": {"after": {"ns_op": 100}},
+			"BenchmarkNoteOnly": {"note": "no after block"}
+		}
+	}`
+	var base baseline
+	if err := json.Unmarshal([]byte(blob), &base); err != nil {
+		t.Fatal(err)
+	}
+	return &base
+}
+
+func TestCompare(t *testing.T) {
+	got := map[string]float64{
+		"BenchmarkHotSpotSteadyState":        200,   // +28% → regressed at 10%
+		"BenchmarkSchedulerPolicies/thermal": 70000, // +1.4% → within tolerance
+	}
+	results := compare(testBaseline(t), got, 0.10)
+	if len(results) != 3 {
+		t.Fatalf("compared %d benchmarks, want 3 (note-only entries skipped): %+v", len(results), results)
+	}
+	byName := map[string]result{}
+	for _, r := range results {
+		byName[r.name] = r
+	}
+	if r := byName["BenchmarkHotSpotSteadyState"]; !r.regressed {
+		t.Errorf("28%% growth not flagged: %+v", r)
+	}
+	if r := byName["BenchmarkSchedulerPolicies/thermal"]; r.regressed {
+		t.Errorf("1.4%% growth flagged at 10%% tolerance: %+v", r)
+	}
+	if r := byName["BenchmarkGone"]; !r.missing {
+		t.Errorf("absent benchmark not marked missing: %+v", r)
+	}
+}
+
+// The shipped baseline file must parse and carry comparable hot paths,
+// so the nightly workflow cannot silently diff against nothing.
+func TestShippedBaselineParses(t *testing.T) {
+	results := compare(testBaseline(t), map[string]float64{}, 0.10)
+	for _, r := range results {
+		if !r.missing {
+			t.Errorf("empty input produced non-missing result %+v", r)
+		}
+	}
+}

@@ -1,18 +1,22 @@
 // Command tables regenerates the paper's evaluation tables (Tables 1–3)
-// in the paper's layout.
+// in the paper's layout, plus the repository's beyond-the-paper scaling
+// study.
 //
 // Usage:
 //
 //	tables            # all three tables
 //	tables -table 3   # one table
 //	tables -fpgens 40 # heavier floorplanning inside co-synthesis
+//	tables -scaling   # thermal-aware scheduling from 20 to 500 tasks
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"thermalsched/internal/cosynth"
 	"thermalsched/internal/experiments"
 )
 
@@ -22,8 +26,20 @@ func main() {
 		fpGens    = flag.Int("fpgens", 20, "GA floorplanner generations inside co-synthesis")
 		sweep     = flag.Int("sweep", 0, "additionally run a randomized robustness sweep of this many graphs")
 		sweepSeed = flag.Int64("sweepseed", 7, "seed for the robustness sweep")
+		scaling   = flag.Bool("scaling", false, "run only the scaling study (20 to 500 tasks on a generated 8-PE platform)")
+		scalePEs  = flag.Int("scalepes", 0, "scaling study PE count (0 = default 8)")
+		scaleSeed = flag.Int64("scaleseed", 1, "scaling study seed (0 is a valid seed)")
 	)
 	flag.Parse()
+
+	if *scaling {
+		t, err := experiments.RunScalingTable(context.Background(), nil, *scalePEs, *scaleSeed, cosynth.PlatformConfig{})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(t)
+		return
+	}
 
 	s, err := experiments.NewSuite()
 	if err != nil {

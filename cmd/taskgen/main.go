@@ -26,7 +26,7 @@ func main() {
 		sources   = flag.Int("sources", 1, "number of entry tasks")
 		maxData   = flag.Float64("maxdata", 40, "maximum communication volume per edge")
 		branch    = flag.Float64("branchfrac", 0, "fraction of fan-out tasks made conditional branches (CTG)")
-		seed      = flag.Int64("seed", 1, "generator seed")
+		seed      = flag.Int64("seed", 1, "generator seed (passed through verbatim; 0 is a valid seed)")
 		name      = flag.String("name", "graph", "graph name")
 		out       = flag.String("o", "", "output .tg file (default stdout)")
 		dot       = flag.String("dot", "", "also write Graphviz DOT to this file")

@@ -2,7 +2,8 @@
 // the schedule, power and steady-state temperatures. The default flow
 // maps the graph onto the paper's 4-PE platform (Fig. 1b); -flow
 // selects co-synthesis, the randomized sweep, the open-loop DTM study,
-// or the closed-loop runtime co-simulation.
+// the closed-loop runtime co-simulation, synthetic-scenario generation,
+// or a multi-scenario policy campaign.
 //
 // Usage:
 //
@@ -10,9 +11,14 @@
 //	thermsched -graph my.tg -policy h3 -gantt
 //	thermsched -flow cosynthesis -benchmark Bm2 -json
 //	thermsched -flow simulate -benchmark Bm3 -replicas 16 -seed 1 -json
+//	thermsched -flow generate -tasks 80 -pes 8 -seed 7 -json
+//	thermsched -flow platform -tasks 80 -pes 8 -seed 7
+//	thermsched -flow campaign -scenarios 50 -mintasks 20 -maxtasks 200 -seed 1
 //
-// With -json the output is the same serializable Response schema that
-// cmd/thermschedd serves over HTTP.
+// Graph-consuming flows accept -tasks/-pes/… instead of a benchmark or
+// graph file: the run then schedules a generated scenario on its own
+// generated platform. With -json the output is the same serializable
+// Response schema that cmd/thermschedd serves over HTTP.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"thermalsched"
 	"thermalsched/internal/taskgraph"
@@ -28,13 +35,13 @@ import (
 
 func main() {
 	var (
-		flow      = flag.String("flow", "platform", "flow: platform, cosynthesis, sweep, dtm, simulate")
+		flow      = flag.String("flow", "platform", "flow: platform, cosynthesis, sweep, dtm, simulate, generate, campaign")
 		benchmark = flag.String("benchmark", "", "paper benchmark (Bm1..Bm4)")
 		graphFile = flag.String("graph", "", "task graph file (.tg)")
 		policyStr = flag.String("policy", "thermal", "ASP policy: baseline, h1, h2, h3, thermal")
 		gantt     = flag.Bool("gantt", false, "print the per-PE timeline")
 		tempW     = flag.Float64("tempweight", 0, "override the thermal DC weight (0 = default)")
-		seed      = flag.Int64("seed", -1, "run seed (cosynthesis/sweep/simulate; negative = default)")
+		seed      = flag.Int64("seed", -1, "run seed (0 is a valid seed, honored verbatim; negative = default)")
 		count     = flag.Int("count", 0, "sweep graph count (0 = default)")
 		asJSON    = flag.Bool("json", false, "emit the serializable Response schema as JSON")
 
@@ -44,8 +51,49 @@ func main() {
 		replicas   = flag.Int("replicas", 0, "simulate Monte-Carlo replicas (0 = default 1)")
 		minFactor  = flag.Float64("minfactor", 0, "simulate execution-time factor lower bound (0 = default 1)")
 		warmStart  = flag.Bool("warmstart", false, "simulate from the steady-state operating point")
+
+		// Synthetic-scenario knobs (-flow generate, or any graph flow
+		// with -tasks set).
+		tasks      = flag.Int("tasks", 0, "generate a scenario with this many tasks instead of using a benchmark/graph")
+		pes        = flag.Int("pes", 0, "generated platform PE count (0 = default 4)")
+		shape      = flag.String("shape", "", "generated graph shape: layered, series-parallel (default layered)")
+		ccr        = flag.Float64("ccr", 0, "generated communication-to-computation ratio (0 = default 0.1)")
+		tightness  = flag.Float64("tightness", 0, "generated deadline tightness factor (0 = default 1.6)")
+		branchFrac = flag.Float64("branchfrac", 0, "fraction of fan-out tasks made conditional branches")
+		minSpeed   = flag.Float64("minspeed", 0, "generated platform minimum relative PE speed (0 = default 1)")
+		maxSpeed   = flag.Float64("maxspeed", 0, "generated platform maximum relative PE speed (0 = default 1)")
+		layout     = flag.String("layout", "", "generated floorplan layout: grid, row (default grid)")
+
+		// FlowCampaign knobs.
+		scenarios = flag.Int("scenarios", 0, "campaign scenario count (0 = default 8)")
+		minTasks  = flag.Int("mintasks", 0, "campaign minimum tasks per scenario (0 = default 20)")
+		maxTasks  = flag.Int("maxtasks", 0, "campaign maximum tasks per scenario (0 = default 60)")
+		policies  = flag.String("policies", "", "campaign comma-separated policy list (default h3,thermal)")
+		coSim     = flag.Bool("cosim", false, "campaign: run every cell through the closed-loop co-simulator")
 	)
 	flag.Parse()
+
+	scenarioSpec := func() *thermalsched.ScenarioSpec {
+		spec := &thermalsched.ScenarioSpec{
+			Graph: thermalsched.ScenarioGraphParams{
+				Tasks:         *tasks,
+				Shape:         *shape,
+				CCR:           *ccr,
+				Tightness:     *tightness,
+				BranchDensity: *branchFrac,
+			},
+			Platform: thermalsched.ScenarioPlatformParams{
+				PEs:      *pes,
+				MinSpeed: *minSpeed,
+				MaxSpeed: *maxSpeed,
+				Layout:   *layout,
+			},
+		}
+		if *seed >= 0 {
+			spec.Seed = *seed
+		}
+		return spec
+	}
 
 	req := thermalsched.NewRequest(thermalsched.FlowKind(*flow))
 	req.Policy = *policyStr
@@ -58,7 +106,8 @@ func main() {
 	if *count > 0 {
 		req.SweepCount = *count
 	}
-	if req.Flow == thermalsched.FlowSimulate {
+	switch req.Flow {
+	case thermalsched.FlowSimulate:
 		spec := thermalsched.SimulateSpec{
 			Controller: *controller,
 			TriggerC:   *trigger,
@@ -71,10 +120,55 @@ func main() {
 			spec.Seed = *seed
 		}
 		req.Simulate = &spec
-	} else if *seed >= 0 {
-		req.Seed = seed
+	case thermalsched.FlowCampaign:
+		camp := thermalsched.CampaignSpec{
+			Scenarios: *scenarios,
+			MinTasks:  *minTasks,
+			MaxTasks:  *maxTasks,
+		}
+		if *seed >= 0 {
+			camp.Seed = *seed
+		}
+		if *policies != "" {
+			camp.Policies = strings.Split(*policies, ",")
+		}
+		if *coSim {
+			sim := thermalsched.SimulateSpec{
+				Controller: *controller,
+				TriggerC:   *trigger,
+				SetpointC:  *trigger,
+				Replicas:   *replicas,
+				MinFactor:  *minFactor,
+				WarmStart:  *warmStart,
+			}
+			if *seed >= 0 {
+				sim.Seed = *seed
+			}
+			camp.Simulate = &sim
+		}
+		if *tasks > 0 || *pes > 0 || *shape != "" || *layout != "" {
+			tpl := scenarioSpec()
+			tpl.Seed = 0 // per-scenario seeds come from the campaign master seed
+			camp.Template = tpl
+		}
+		req.Campaign = &camp
+	default:
+		if *seed >= 0 {
+			req.Seed = seed
+		}
 	}
-	if req.Flow != thermalsched.FlowSweep {
+	switch req.Flow {
+	case thermalsched.FlowSweep, thermalsched.FlowCampaign:
+		// These flows generate their own inputs.
+	case thermalsched.FlowGenerate:
+		req.Seed = nil
+		req.Scenario = scenarioSpec()
+	default:
+		if *tasks > 0 {
+			req.Seed = nil
+			req.Scenario = scenarioSpec()
+			break
+		}
 		g, err := loadGraph(*benchmark, *graphFile)
 		if err != nil {
 			fatal(err)
@@ -170,6 +264,28 @@ func printHuman(resp *thermalsched.Response) {
 		fmt.Printf("  peak temp °C  %s\n", statsLine(s.PeakTempC, "%.2f"))
 		fmt.Printf("  throttle time %s\n", statsLine(s.ThrottleTime, "%.1f"))
 		fmt.Printf("  deadline miss %.0f%%\n", 100*s.DeadlineMissRate)
+	}
+	if sc := resp.Scenario; sc != nil {
+		fmt.Printf("scenario   %s (fingerprint %s)\n", sc.Name, sc.Fingerprint)
+		fmt.Printf("  %d tasks, %d edges, depth %d, %d source(s), %d sink(s), %d branch node(s)\n",
+			sc.Tasks, sc.Edges, sc.Depth, sc.Sources, sc.Sinks, sc.BranchNodes)
+		fmt.Printf("  deadline %g, realized CCR %.3f\n", sc.Deadline, sc.CCR)
+		fmt.Printf("  platform: %d PEs, %d task types, %s layout\n", sc.PEs, sc.TaskTypes, sc.Layout)
+	}
+	if c := resp.Campaign; c != nil {
+		fmt.Print(c)
+		fmt.Println("rows:")
+		for _, row := range c.Rows {
+			fmt.Printf("  %-6s %-16s %4d tasks %4d edges %2d PEs |", row.Scenario, row.Shape, row.Tasks, row.Edges, row.PEs)
+			for _, cell := range row.Cells {
+				if cell.Error != "" {
+					fmt.Printf("  %s: ERROR %s", cell.Policy, cell.Error)
+					continue
+				}
+				fmt.Printf("  %s max %.1f °C", cell.Policy, cell.MaxTempC)
+			}
+			fmt.Println()
+		}
 	}
 	if resp.Gantt != "" {
 		fmt.Print(resp.Gantt)

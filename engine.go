@@ -31,8 +31,11 @@ type Engine struct {
 	thermal ThermalConfig
 	workers int
 	models  *modelCache
-	benches map[string]*Graph
-	ordered []string // benchmark names in paper order
+	// scenarios memoizes generated synthetic scenarios by fingerprint,
+	// so a campaign's policies share one generation per scenario.
+	scenarios *scenarioCache
+	benches   map[string]*Graph
+	ordered   []string // benchmark names in paper order
 	// simTokens is the engine-wide parallelism pool for simulate-flow
 	// replica fan-out; see runSimulateFlow.
 	simTokens chan struct{}
@@ -112,6 +115,7 @@ func NewEngine(opts ...Option) (*Engine, error) {
 		thermal:   o.thermal,
 		workers:   o.workers,
 		models:    newModelCache(o.cacheSize),
+		scenarios: newScenarioCache(DefaultScenarioCacheSize),
 		benches:   make(map[string]*Graph),
 		simTokens: make(chan struct{}, o.workers),
 	}
@@ -158,6 +162,38 @@ func (e *Engine) resolveGraph(req *Request) (*Graph, error) {
 	return e.benchmark(req.Benchmark)
 }
 
+// runInput is a resolved request input: the task graph plus the
+// library and platform substrate it runs on. Benchmark and inline-graph
+// requests use the engine's standard library and the paper platform;
+// scenario requests bring their own generated library and platform.
+type runInput struct {
+	graph    *Graph
+	lib      *Library
+	platform *cosynth.PlatformDesc // nil = the paper's 4-PE platform
+	scen     *Scenario             // non-nil when generated
+}
+
+// resolveInput materializes the request's graph, library and platform.
+func (e *Engine) resolveInput(req *Request) (*runInput, error) {
+	if req.Scenario != nil {
+		sc, err := e.scenarioFor(*req.Scenario)
+		if err != nil {
+			return nil, err
+		}
+		return &runInput{
+			graph:    sc.Graph,
+			lib:      sc.Lib,
+			platform: &cosynth.PlatformDesc{TypeNames: sc.PETypeNames, Layout: sc.Layout},
+			scen:     sc,
+		}, nil
+	}
+	g, err := e.resolveGraph(req)
+	if err != nil {
+		return nil, err
+	}
+	return &runInput{graph: g, lib: e.lib}, nil
+}
+
 // Run validates and executes one request. Cancellation is threaded into
 // every flow's hot loop — the ASP's greedy step, the GA floorplanner's
 // packing evaluations and co-synthesis's candidate evaluations — so a
@@ -185,6 +221,10 @@ func (e *Engine) Run(ctx context.Context, req Request) (*Response, error) {
 		resp, err = e.runDTMFlow(ctx, &req)
 	case FlowSimulate:
 		resp, err = e.runSimulateFlow(ctx, &req)
+	case FlowGenerate:
+		resp, err = e.runGenerateFlow(&req)
+	case FlowCampaign:
+		resp, err = e.runCampaignFlow(ctx, &req)
 	default: // unreachable after Validate
 		err = fmt.Errorf("thermalsched: unknown flow %q", req.Flow)
 	}
@@ -282,6 +322,19 @@ func (e *Engine) Sweep(ctx context.Context, count int, seed int64) (*SweepResult
 	})
 }
 
+// ScalingTable runs the beyond-the-paper scaling study — the
+// thermal-aware platform flow over generated scenarios of the given
+// task counts on a generated heterogeneous platform — with the engine's
+// thermal calibration and model cache applied to every run. Nil sizes
+// means experiments.DefaultScalingSizes (20 → 500 tasks); zero pes
+// means 8.
+func (e *Engine) ScalingTable(ctx context.Context, sizes []int, pes int, seed int64) (*experiments.ScalingTable, error) {
+	return experiments.RunScalingTable(ctx, sizes, pes, seed, cosynth.PlatformConfig{
+		HotSpot: &e.thermal,
+		Models:  e.modelProvider(),
+	})
+}
+
 // platform executes the platform flow with the engine's thermal model
 // cache wired in. lib is explicit so the deprecated free functions can
 // route caller-supplied libraries through the shared engine.
@@ -302,7 +355,7 @@ func (e *Engine) cosynthesize(ctx context.Context, g *Graph, lib *Library, cfg c
 }
 
 func (e *Engine) runPlatformFlow(ctx context.Context, req *Request) (*Response, error) {
-	g, err := e.resolveGraph(req)
+	in, err := e.resolveInput(req)
 	if err != nil {
 		return nil, err
 	}
@@ -311,15 +364,21 @@ func (e *Engine) runPlatformFlow(ctx context.Context, req *Request) (*Response, 
 		return nil, err
 	}
 	cfg.HotSpot = &e.thermal
-	res, err := e.platform(ctx, g, e.lib, cfg)
+	cfg.Platform = in.platform
+	res, err := e.platform(ctx, in.graph, in.lib, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return flowResponse(FlowPlatform, cfg.Policy, res, req.IncludeGantt, false)
+	resp, err := flowResponse(FlowPlatform, cfg.Policy, res, req.IncludeGantt, false)
+	if err != nil {
+		return nil, err
+	}
+	in.stamp(resp)
+	return resp, nil
 }
 
 func (e *Engine) runCoSynthFlow(ctx context.Context, req *Request) (*Response, error) {
-	g, err := e.resolveGraph(req)
+	in, err := e.resolveInput(req)
 	if err != nil {
 		return nil, err
 	}
@@ -328,11 +387,29 @@ func (e *Engine) runCoSynthFlow(ctx context.Context, req *Request) (*Response, e
 		return nil, err
 	}
 	cfg.HotSpot = &e.thermal
-	res, err := e.cosynthesize(ctx, g, e.lib, cfg)
+	if in.scen != nil && cfg.CandidateTypes == nil {
+		// A generated scenario brings its own library; co-synthesis
+		// selects from its PE palette rather than the standard one.
+		cfg.CandidateTypes = in.scen.PETypeNames
+	}
+	res, err := e.cosynthesize(ctx, in.graph, in.lib, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return flowResponse(FlowCoSynthesis, cfg.Policy, res, req.IncludeGantt, true)
+	resp, err := flowResponse(FlowCoSynthesis, cfg.Policy, res, req.IncludeGantt, true)
+	if err != nil {
+		return nil, err
+	}
+	in.stamp(resp)
+	return resp, nil
+}
+
+// stamp records the generated scenario's fingerprint on a response so
+// clients can key caches and reproduce the run.
+func (in *runInput) stamp(resp *Response) {
+	if in.scen != nil {
+		resp.Fingerprint = in.scen.Fingerprint
+	}
 }
 
 func (e *Engine) runSweepFlow(ctx context.Context, req *Request) (*Response, error) {
@@ -352,7 +429,7 @@ func (e *Engine) runSweepFlow(ctx context.Context, req *Request) (*Response, err
 }
 
 func (e *Engine) runDTMFlow(ctx context.Context, req *Request) (*Response, error) {
-	g, err := e.resolveGraph(req)
+	in, err := e.resolveInput(req)
 	if err != nil {
 		return nil, err
 	}
@@ -361,7 +438,8 @@ func (e *Engine) runDTMFlow(ctx context.Context, req *Request) (*Response, error
 		return nil, err
 	}
 	cfg.HotSpot = &e.thermal
-	res, err := e.platform(ctx, g, e.lib, cfg)
+	cfg.Platform = in.platform
+	res, err := e.platform(ctx, in.graph, in.lib, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -403,6 +481,7 @@ func (e *Engine) runDTMFlow(ctx context.Context, req *Request) (*Response, error
 		return nil, err
 	}
 	resp.DTM = dtmReport(spec.Controller, dtmRes)
+	in.stamp(resp)
 	return resp, nil
 }
 
@@ -427,7 +506,7 @@ func simController(spec SimulateSpec) (DTMController, error) {
 // lockstep — Replicas seeded Monte-Carlo runs fanned across the
 // engine's worker pool (replica i draws its realization from Seed+i).
 func (e *Engine) runSimulateFlow(ctx context.Context, req *Request) (*Response, error) {
-	g, err := e.resolveGraph(req)
+	in, err := e.resolveInput(req)
 	if err != nil {
 		return nil, err
 	}
@@ -436,7 +515,8 @@ func (e *Engine) runSimulateFlow(ctx context.Context, req *Request) (*Response, 
 		return nil, err
 	}
 	cfg.HotSpot = &e.thermal
-	res, err := e.platform(ctx, g, e.lib, cfg)
+	cfg.Platform = in.platform
+	res, err := e.platform(ctx, in.graph, in.lib, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -529,6 +609,7 @@ func (e *Engine) runSimulateFlow(ctx context.Context, req *Request) (*Response, 
 		return nil, err
 	}
 	resp.Simulate = report
+	in.stamp(resp)
 	return resp, nil
 }
 

@@ -25,6 +25,7 @@ func TestExamplesRun(t *testing.T) {
 		{"./examples/cosynthesis", "architecture"},
 		{"./examples/thermal_exploration", "leakage feedback"},
 		{"./examples/runtime_dtm", "Closed-loop DTM comparison"},
+		{"./examples/campaign", "fingerprint matches the campaign row"},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -29,6 +29,21 @@ type PlatformConfig struct {
 	// Models supplies thermal models; nil means hotspot.NewModel. The
 	// Engine layer injects its factorization cache here.
 	Models ModelProvider
+	// Platform overrides the paper's fixed 4-PE substrate with a custom
+	// platform description — generated scenarios route their
+	// heterogeneous platforms here. Nil keeps the paper platform.
+	Platform *PlatformDesc
+}
+
+// PlatformDesc describes a custom platform substrate: one PE instance
+// per library type name, arranged in the named floorplan layout. PE
+// instances are named pe0, pe1, … in order, and the floorplan's blocks
+// carry the same names so the thermal oracle can map between them.
+type PlatformDesc struct {
+	// TypeNames lists the technology-library PE type of each instance.
+	TypeNames []string
+	// Layout is "row" (default) or "grid".
+	Layout string
 }
 
 // DefaultBusTimePerUnit is the communication rate used throughout the
@@ -41,16 +56,19 @@ const DefaultBusTimePerUnit = 0.05
 // A row (not a 2×2 grid) is used so the platform has the edge/centre
 // asymmetry every real package exhibits; see DESIGN.md.
 func BuildPlatform(lib *techlib.Library, busTimePerUnit float64, hsCfg hotspot.Config) (sched.Architecture, *floorplan.Floorplan, *hotspot.Model, *sched.ModelOracle, error) {
-	return buildPlatform(lib, busTimePerUnit, hsCfg, nil)
+	return buildPlatform(lib, busTimePerUnit, hsCfg, nil, nil)
 }
 
-func buildPlatform(lib *techlib.Library, busTimePerUnit float64, hsCfg hotspot.Config, models ModelProvider) (sched.Architecture, *floorplan.Floorplan, *hotspot.Model, *sched.ModelOracle, error) {
-	arch, err := sched.PlatformFromTypes(lib, techlib.PlatformPETypeNames(), busTimePerUnit)
+func buildPlatform(lib *techlib.Library, busTimePerUnit float64, hsCfg hotspot.Config, models ModelProvider, desc *PlatformDesc) (sched.Architecture, *floorplan.Floorplan, *hotspot.Model, *sched.ModelOracle, error) {
+	typeNames := techlib.PlatformPETypeNames()
+	if desc != nil {
+		typeNames = desc.TypeNames
+	}
+	arch, err := sched.PlatformFromTypes(lib, typeNames, busTimePerUnit)
 	if err != nil {
 		return sched.Architecture{}, nil, nil, nil, err
 	}
-	area := lib.PEType(arch.PEs[0].Type).Area
-	fp, err := floorplan.Row("pe", len(arch.PEs), area)
+	fp, err := platformFloorplan(lib, arch, desc)
 	if err != nil {
 		return sched.Architecture{}, nil, nil, nil, err
 	}
@@ -63,6 +81,25 @@ func buildPlatform(lib *techlib.Library, busTimePerUnit float64, hsCfg hotspot.C
 		return sched.Architecture{}, nil, nil, nil, err
 	}
 	return arch, fp, model, oracle, nil
+}
+
+// platformFloorplan lays the platform's PEs out on the die. The paper
+// platform (nil desc) keeps its historical row of identical blocks; a
+// custom platform uses per-PE areas from the library, in a row or a
+// near-square grid.
+func platformFloorplan(lib *techlib.Library, arch sched.Architecture, desc *PlatformDesc) (*floorplan.Floorplan, error) {
+	if desc == nil {
+		area := lib.PEType(arch.PEs[0].Type).Area
+		return floorplan.Row("pe", len(arch.PEs), area)
+	}
+	areas := make([]float64, len(arch.PEs))
+	for i, pe := range arch.PEs {
+		areas[i] = lib.PEType(pe.Type).Area
+	}
+	if desc.Layout == "grid" {
+		return floorplan.GridOf(arch.PENames(), areas)
+	}
+	return floorplan.RowOf(arch.PENames(), areas)
 }
 
 // RunPlatform executes the platform-based flow: schedule g on the fixed
@@ -83,7 +120,7 @@ func RunPlatformCtx(ctx context.Context, g *taskgraph.Graph, lib *techlib.Librar
 	if cfg.HotSpot != nil {
 		hs = *cfg.HotSpot
 	}
-	arch, fp, model, oracle, err := buildPlatform(lib, bus, hs, cfg.Models)
+	arch, fp, model, oracle, err := buildPlatform(lib, bus, hs, cfg.Models, cfg.Platform)
 	if err != nil {
 		return nil, err
 	}

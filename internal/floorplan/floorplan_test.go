@@ -199,3 +199,69 @@ func mustAdd(t *testing.T, fp *Floorplan, name string, r geom.Rect) {
 		t.Fatal(err)
 	}
 }
+
+func TestRowOfAndGridOfKeepBlocksCoupled(t *testing.T) {
+	// Heterogeneous areas (a generated 0.6–2.0 speed spread): every
+	// block must share a lateral edge with at least one neighbour, or
+	// the thermal model degenerates to isolated blocks.
+	names := []string{"pe0", "pe1", "pe2", "pe3", "pe4", "pe5"}
+	areas := []float64{9.6e-6, 12e-6, 16e-6, 21e-6, 26e-6, 32e-6}
+	for _, tc := range []struct {
+		layout string
+		build  func() (*Floorplan, error)
+	}{
+		{"row", func() (*Floorplan, error) { return RowOf(names, areas) }},
+		{"grid", func() (*Floorplan, error) { return GridOf(names, areas) }},
+	} {
+		fp, err := tc.build()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.layout, err)
+		}
+		if err := fp.Validate(); err != nil {
+			t.Fatalf("%s: invalid floorplan: %v", tc.layout, err)
+		}
+		deg := make([]int, len(names))
+		for i, row := range fp.Adjacency(geom.Eps) {
+			for j := range row {
+				deg[i]++
+				deg[j]++
+			}
+		}
+		for i, d := range deg {
+			if d == 0 {
+				t.Errorf("%s: block %s has no abutting neighbour (no lateral coupling)", tc.layout, names[i])
+			}
+		}
+	}
+}
+
+func TestGridOfMatchesUniformGrid(t *testing.T) {
+	// With uniform areas the packed grid must reproduce Grid's layout.
+	area := 16e-6
+	uniform, err := Grid("pe", 4, area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := GridOf([]string{"pe0", "pe1", "pe2", "pe3"}, []float64{area, area, area, area})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range uniform.Blocks() {
+		r, ok := packed.Rect(b.Name)
+		if !ok || r != b.Rect {
+			t.Errorf("block %s: packed %v, uniform %v", b.Name, r, b.Rect)
+		}
+	}
+}
+
+func TestRowGridOfErrors(t *testing.T) {
+	if _, err := RowOf(nil, nil); err == nil {
+		t.Error("empty RowOf succeeded")
+	}
+	if _, err := GridOf([]string{"a", "b"}, []float64{1}); err == nil {
+		t.Error("mismatched GridOf lengths succeeded")
+	}
+	if _, err := RowOf([]string{"a"}, []float64{-1}); err == nil {
+		t.Error("negative area succeeded")
+	}
+}

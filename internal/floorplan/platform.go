@@ -53,3 +53,72 @@ func Row(prefix string, count int, blockArea float64) (*Floorplan, error) {
 	}
 	return fp, nil
 }
+
+// checkNamedAreas validates the parallel names/areas slices shared by
+// RowOf and GridOf.
+func checkNamedAreas(kind string, names []string, areas []float64) error {
+	if len(names) == 0 {
+		return fmt.Errorf("floorplan: %s needs at least one block", kind)
+	}
+	if len(names) != len(areas) {
+		return fmt.Errorf("floorplan: %s got %d names but %d areas", kind, len(names), len(areas))
+	}
+	for i, a := range areas {
+		if !(a > 0) || math.IsInf(a, 0) {
+			return fmt.Errorf("floorplan: %s block %q has invalid area %g", kind, names[i], a)
+		}
+	}
+	return nil
+}
+
+// RowOf builds a single-row floorplan of square blocks with per-block
+// areas — the heterogeneous counterpart of Row, used for generated
+// platforms whose PEs differ in die size. Blocks abut along x so
+// neighbours stay thermally coupled.
+func RowOf(names []string, areas []float64) (*Floorplan, error) {
+	if err := checkNamedAreas("row", names, areas); err != nil {
+		return nil, err
+	}
+	fp := New()
+	x := 0.0
+	for i, name := range names {
+		side := math.Sqrt(areas[i])
+		if err := fp.AddBlock(name, geom.NewRect(x, 0, side, side)); err != nil {
+			return nil, err
+		}
+		x += side
+	}
+	return fp, nil
+}
+
+// GridOf builds a near-square grid of square blocks with per-block
+// areas, packed row by row: blocks in a row abut horizontally (sharing
+// a lateral edge, so neighbours stay thermally coupled even when their
+// sides differ) and each row starts where the tallest block of the
+// previous row ends, so the tallest blocks couple across rows too. A
+// fixed-pitch cell grid would leave differently-sized blocks floating
+// with no shared edges at all — and a thermal model with zero lateral
+// conductance.
+func GridOf(names []string, areas []float64) (*Floorplan, error) {
+	if err := checkNamedAreas("grid", names, areas); err != nil {
+		return nil, err
+	}
+	cols := int(math.Ceil(math.Sqrt(float64(len(names)))))
+	fp := New()
+	x, rowY, rowMaxH := 0.0, 0.0, 0.0
+	for i, name := range names {
+		if i > 0 && i%cols == 0 {
+			rowY += rowMaxH
+			x, rowMaxH = 0, 0
+		}
+		side := math.Sqrt(areas[i])
+		if err := fp.AddBlock(name, geom.NewRect(x, rowY, side, side)); err != nil {
+			return nil, err
+		}
+		x += side
+		if side > rowMaxH {
+			rowMaxH = side
+		}
+	}
+	return fp, nil
+}

@@ -3,6 +3,7 @@ package hotspot
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"thermalsched/internal/floorplan"
@@ -76,10 +77,26 @@ func NewModel(fp *floorplan.Floorplan, cfg Config) (*Model, error) {
 	// The spreader path dominates (copper, thicker), which is what makes
 	// centre blocks run hotter than edge blocks — the spatial effect the
 	// thermal-aware scheduler exploits.
+	// Iterate the adjacency map in index order: float accumulation into
+	// the conductance matrix is order-sensitive at the last ulp, and a
+	// randomized map walk would make nominally identical models differ
+	// between builds (breaking the byte-identical cross-surface
+	// contract for heterogeneous floorplans, whose conductances are not
+	// all equal).
 	adj := fp.Adjacency(geom.Eps)
 	sharedOf := make([]float64, n) // total abutting edge length per block
-	for i, row := range adj {
-		for j, edge := range row {
+	for i := 0; i < n; i++ {
+		row := adj[i]
+		if len(row) == 0 {
+			continue
+		}
+		js := make([]int, 0, len(row))
+		for j := range row {
+			js = append(js, j)
+		}
+		sort.Ints(js)
+		for _, j := range js {
+			edge := row[j]
 			sharedOf[i] += edge
 			sharedOf[j] += edge
 			d := blocks[i].Rect.Center().Dist(blocks[j].Rect.Center())

@@ -315,3 +315,47 @@ func TestLargerFloorplanSolves(t *testing.T) {
 		t.Error("uneven power should give uneven temperatures")
 	}
 }
+
+// Building the same model twice must produce bit-identical
+// temperatures: the conductance assembly walks the adjacency map in
+// sorted order, because float accumulation order matters at the last
+// ulp once abutting blocks have unequal conductances (heterogeneous
+// generated platforms). A randomized walk made nominally identical
+// models drift across builds and processes.
+func TestModelBuildDeterministicHeterogeneous(t *testing.T) {
+	names := []string{"pe0", "pe1", "pe2", "pe3", "pe4", "pe5"}
+	areas := []float64{9.6e-6, 12e-6, 16e-6, 21e-6, 26e-6, 32e-6}
+	fp, err := floorplan.GridOf(names, areas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	power := []float64{3, 5, 7, 9, 11, 13}
+	temps := func() []float64 {
+		m, err := NewModel(fp, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts, err := m.SteadyStateVec(power)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, len(names))
+		for i, n := range names {
+			v, ok := ts.Of(n)
+			if !ok {
+				t.Fatalf("missing block %s", n)
+			}
+			out[i] = v
+		}
+		return out
+	}
+	a := temps()
+	for run := 0; run < 10; run++ {
+		b := temps()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("run %d: block %s temp %v != %v (non-deterministic build)", run, names[i], b[i], a[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package scenario
+
+import (
+	"fmt"
+
+	"thermalsched/internal/techlib"
+)
+
+// generatePlatform builds the scenario's technology library: one PE
+// type per platform instance (so every instance carries its own
+// WCET/WCPC jitter, like the paper's "four identical PEs"), with
+// nominal speeds evenly spaced across [MinSpeed, MaxSpeed] plus a small
+// seeded jitter. Cost grows as speed² and die area linearly with speed,
+// so faster cores are more expensive and have higher power density —
+// the trade-off space the thermal-aware scheduler navigates.
+func generatePlatform(spec Spec) (*techlib.Library, []string, error) {
+	p := spec.Platform
+	rng := rngFor(spec.Seed ^ platformSeedSalt)
+	specs := make([]techlib.PESpec, p.PEs)
+	names := make([]string, p.PEs)
+	for i := range specs {
+		speed := p.MinSpeed
+		if p.PEs > 1 {
+			speed += (p.MaxSpeed - p.MinSpeed) * float64(i) / float64(p.PEs-1)
+		} else {
+			speed = (p.MinSpeed + p.MaxSpeed) / 2
+		}
+		if p.MaxSpeed > p.MinSpeed {
+			// ±5% jitter keeps nominally equal-speed tiers from being
+			// bit-identical, clamped inside the requested spread.
+			speed *= 1 + 0.05*(2*rng.Float64()-1)
+			if speed < p.MinSpeed {
+				speed = p.MinSpeed
+			}
+			if speed > p.MaxSpeed {
+				speed = p.MaxSpeed
+			}
+		}
+		names[i] = fmt.Sprintf("gpe%d", i)
+		specs[i] = techlib.PESpec{
+			Name:     names[i],
+			Speed:    speed,
+			Cost:     80 * speed * speed,
+			Area:     16e-6 * speed,
+			Coverage: 1.0, // full coverage keeps every generated graph schedulable
+		}
+	}
+	lib, err := techlib.Generate(techlib.GenParams{
+		NumTaskTypes: spec.Graph.Types,
+		MeanWork:     p.MeanWork,
+		MeanPower:    p.MeanPower,
+		Noise:        p.Noise,
+		Seed:         spec.Seed ^ platformSeedSalt,
+	}, specs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("scenario: platform library: %w", err)
+	}
+	return lib, names, nil
+}

@@ -10,7 +10,10 @@
 //
 // The wire schema is exactly the package's Request/Response types, so
 // the CLI's -json output, the service's responses, and library-level
-// JSON round trips all share one format.
+// JSON round trips all share one format. Every Engine flow is served,
+// including the synthetic-scenario generate and campaign flows; their
+// size limits (scenario.MaxTasks/MaxPEs, MaxCampaignScenarios) are
+// enforced by Request.Validate before any work is admitted.
 package service
 
 import (

@@ -191,3 +191,50 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+// Seed zero is a valid seed and must be honored verbatim — the
+// generator-level counterpart of the CoSynthConfig.SeedSet regression:
+// no code path may rewrite an explicit zero to a "default" seed.
+// (Audited for PR 4: Generate passes p.Seed straight to rand.NewSource,
+// and cmd/taskgen passes its -seed flag straight to Generate.)
+func TestGenerateSeedZeroHonored(t *testing.T) {
+	p := GenParams{Name: "g", Tasks: 15, Edges: 18, Deadline: 100, Types: 3, Sources: 1, MaxData: 5, Seed: 0}
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameGraph(a, b) {
+		t.Error("seed 0 is not deterministic")
+	}
+	p.Seed = 1
+	c, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sameGraph(a, c) {
+		t.Error("seed 0 generated the same graph as seed 1 (seed rewritten?)")
+	}
+}
+
+// sameGraph compares two graphs structurally (tasks, edges, deadline).
+func sameGraph(a, b *Graph) bool {
+	if a.NumTasks() != b.NumTasks() || a.NumEdges() != b.NumEdges() || a.Deadline != b.Deadline {
+		return false
+	}
+	for i, ta := range a.Tasks() {
+		if ta != b.Task(i) {
+			return false
+		}
+	}
+	ae, be := a.Edges(), b.Edges()
+	for i := range ae {
+		if ae[i] != be[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -38,11 +38,23 @@ const (
 	// With Replicas > 1 it fans seeded Monte-Carlo runs across the
 	// engine's worker pool and reports percentile statistics.
 	FlowSimulate FlowKind = "simulate"
+	// FlowGenerate materializes a synthetic scenario (random task graph
+	// plus heterogeneous platform) from Request.Scenario and returns
+	// its serialized form and summary statistics — the scenario is not
+	// scheduled. Any graph-consuming flow can instead carry the same
+	// spec to run on the generated workload directly.
+	FlowGenerate FlowKind = "generate"
+	// FlowCampaign generates a family of scenarios (Request.Campaign)
+	// and fans a policy comparison across them on the engine's worker
+	// pool, reporting per-scenario rows, per-policy percentiles and
+	// win rates — the randomized-sweep study generalized to arbitrary
+	// scenario families and policy sets.
+	FlowCampaign FlowKind = "campaign"
 )
 
 // FlowKinds lists every flow an Engine accepts.
 func FlowKinds() []FlowKind {
-	return []FlowKind{FlowPlatform, FlowCoSynthesis, FlowSweep, FlowDTM, FlowSimulate}
+	return []FlowKind{FlowPlatform, FlowCoSynthesis, FlowSweep, FlowDTM, FlowSimulate, FlowGenerate, FlowCampaign}
 }
 
 // TaskSpec is the serializable form of one task-graph node.
@@ -276,11 +288,16 @@ type Request struct {
 	// Flow selects the execution flow.
 	Flow FlowKind `json:"flow"`
 	// Benchmark names a paper benchmark ("Bm1" … "Bm4"). Exactly one of
-	// Benchmark or Graph must be set, except for FlowSweep which
-	// generates its own graphs.
+	// Benchmark, Graph or Scenario must be set, except for FlowSweep
+	// and FlowCampaign which generate their own inputs.
 	Benchmark string `json:"benchmark,omitempty"`
 	// Graph carries a custom task graph inline.
 	Graph *GraphSpec `json:"graph,omitempty"`
+	// Scenario describes a synthetic workload to generate and run: the
+	// graph-consuming flows schedule it on its own generated platform
+	// (instead of the paper's 4-PE substrate), and FlowGenerate
+	// serializes it. Generated scenarios are cached by fingerprint.
+	Scenario *ScenarioSpec `json:"scenario,omitempty"`
 	// Policy is the ASP variant name as accepted by ParsePolicy
 	// ("baseline", "h1" … "h3", "thermal"). Empty means "thermal".
 	Policy string `json:"policy,omitempty"`
@@ -316,6 +333,10 @@ type Request struct {
 	// SimulateSpec.
 	Simulate *SimulateSpec `json:"simulate,omitempty"`
 
+	// Campaign tunes FlowCampaign; nil uses the defaults documented on
+	// CampaignSpec.
+	Campaign *CampaignSpec `json:"campaign,omitempty"`
+
 	// IncludeGantt asks for the schedule's per-PE timeline in
 	// Response.Gantt (platform and cosynthesis flows).
 	IncludeGantt bool `json:"includeGantt,omitempty"`
@@ -346,6 +367,17 @@ func WithGraph(g *Graph) RequestOption {
 // WithGraphSpec ships an already-serialized task graph.
 func WithGraphSpec(spec *GraphSpec) RequestOption {
 	return func(r *Request) { r.Graph = spec }
+}
+
+// WithScenario makes the request run on (or, for FlowGenerate, emit)
+// the described synthetic scenario.
+func WithScenario(spec ScenarioSpec) RequestOption {
+	return func(r *Request) { r.Scenario = &spec }
+}
+
+// WithCampaign tunes the FlowCampaign study.
+func WithCampaign(spec CampaignSpec) RequestOption {
+	return func(r *Request) { r.Campaign = &spec }
 }
 
 // WithPolicy selects the ASP variant.
@@ -444,7 +476,7 @@ func (r *Request) policy() (Policy, error) {
 // accepting work so malformed requests fail fast with a clear message.
 func (r *Request) Validate() error {
 	switch r.Flow {
-	case FlowPlatform, FlowCoSynthesis, FlowSweep, FlowDTM, FlowSimulate:
+	case FlowPlatform, FlowCoSynthesis, FlowSweep, FlowDTM, FlowSimulate, FlowGenerate, FlowCampaign:
 	case "":
 		return fmt.Errorf("thermalsched: request missing flow (want one of %v)", FlowKinds())
 	default:
@@ -453,19 +485,50 @@ func (r *Request) Validate() error {
 	if _, err := r.policy(); err != nil {
 		return err
 	}
-	if r.Flow == FlowSweep {
-		if r.Benchmark != "" || r.Graph != nil {
-			return fmt.Errorf("thermalsched: sweep requests generate their own graphs; remove benchmark/graph")
+	inputs := 0
+	for _, set := range []bool{r.Benchmark != "", r.Graph != nil, r.Scenario != nil} {
+		if set {
+			inputs++
+		}
+	}
+	switch r.Flow {
+	case FlowSweep:
+		if inputs > 0 {
+			return fmt.Errorf("thermalsched: sweep requests generate their own graphs; remove benchmark/graph/scenario")
 		}
 		if r.SweepCount < 0 {
 			return fmt.Errorf("thermalsched: negative sweep count %d", r.SweepCount)
 		}
-	} else {
+	case FlowCampaign:
+		if inputs > 0 {
+			return fmt.Errorf("thermalsched: campaign requests generate their own scenarios; remove benchmark/graph/scenario")
+		}
+	case FlowGenerate:
+		if r.Scenario == nil {
+			return fmt.Errorf("thermalsched: generate requests need a scenario spec")
+		}
+		if r.Benchmark != "" || r.Graph != nil {
+			return fmt.Errorf("thermalsched: generate requests take only a scenario spec; remove benchmark/graph")
+		}
+	default:
 		switch {
-		case r.Benchmark == "" && r.Graph == nil:
-			return fmt.Errorf("thermalsched: request needs a benchmark name or an inline graph")
-		case r.Benchmark != "" && r.Graph != nil:
-			return fmt.Errorf("thermalsched: set either benchmark or graph, not both")
+		case inputs == 0:
+			return fmt.Errorf("thermalsched: request needs a benchmark name, an inline graph or a scenario spec")
+		case inputs > 1:
+			return fmt.Errorf("thermalsched: set exactly one of benchmark, graph or scenario")
+		}
+	}
+	if r.Scenario != nil {
+		if err := r.Scenario.Validate(); err != nil {
+			return err
+		}
+	}
+	if r.Campaign != nil && r.Flow != FlowCampaign {
+		return fmt.Errorf("thermalsched: campaign parameters on a %q request", r.Flow)
+	}
+	if r.Campaign != nil {
+		if err := r.Campaign.Validate(); err != nil {
+			return err
 		}
 	}
 	if r.Benchmark != "" {

@@ -106,6 +106,9 @@ type Response struct {
 	Flow   FlowKind `json:"flow"`
 	Graph  string   `json:"graph,omitempty"`
 	Policy string   `json:"policy,omitempty"`
+	// Fingerprint identifies the generated scenario a scenario-driven
+	// run executed on (the cache key clients can reuse).
+	Fingerprint string `json:"fingerprint,omitempty"`
 	// Metrics are the paper's table columns (platform, cosynthesis and
 	// dtm flows).
 	Metrics *FlowMetrics `json:"metrics,omitempty"`
@@ -123,6 +126,11 @@ type Response struct {
 	DTM *DTMReport `json:"dtm,omitempty"`
 	// Simulate carries the FlowSimulate closed-loop summary.
 	Simulate *SimulateReport `json:"simulate,omitempty"`
+	// Scenario carries the FlowGenerate payload: the generated
+	// scenario's stats and serialized forms.
+	Scenario *ScenarioReport `json:"scenario,omitempty"`
+	// Campaign carries the FlowCampaign aggregate.
+	Campaign *CampaignReport `json:"campaign,omitempty"`
 	// ElapsedMS is the server-side wall-clock cost of the run.
 	ElapsedMS float64 `json:"elapsedMs"`
 	// Error is set instead of the payload fields when a batch entry or

@@ -13,23 +13,19 @@ import (
 	"thermalsched/internal/service"
 )
 
-// The simulate flow must round-trip identically through every surface:
-// Engine.Run in-process, POST /v1/run over the service, and the CLI's
-// -json mode all emit the same Response for the same seeded request
-// (modulo the wall-clock elapsedMs field).
-func TestSimulateResponseIdenticalAcrossSurfaces(t *testing.T) {
+// A flow must round-trip identically through every surface: Engine.Run
+// in-process, POST /v1/run over the service, and the CLI's -json mode
+// all emit the same Response for the same seeded request (modulo the
+// wall-clock elapsedMs field). crossSurface runs that check for one
+// request and its equivalent CLI invocation.
+func crossSurface(t *testing.T, req thermalsched.Request, cliArgs []string) {
+	t.Helper()
 	if testing.Short() {
 		t.Skip("CLI subprocess skipped in -short mode")
 	}
 	if _, err := exec.LookPath("go"); err != nil {
 		t.Skip("go toolchain not on PATH")
 	}
-
-	req := thermalsched.NewRequest(thermalsched.FlowSimulate,
-		thermalsched.WithBenchmark("Bm2"),
-		thermalsched.WithPolicy(thermalsched.ThermalAware),
-		thermalsched.WithSimulate(thermalsched.SimulateSpec{Replicas: 3, Seed: 5, MinFactor: 0.8}),
-	)
 
 	normalize := func(resp *thermalsched.Response) string {
 		resp.ElapsedMS = 0
@@ -79,9 +75,7 @@ func TestSimulateResponseIdenticalAcrossSurfaces(t *testing.T) {
 	}
 
 	// Surface 3: the CLI's -json mode.
-	out, err := exec.Command("go", "run", "./cmd/thermsched",
-		"-flow", "simulate", "-benchmark", "Bm2", "-policy", "thermal",
-		"-replicas", "3", "-seed", "5", "-minfactor", "0.8", "-json").CombinedOutput()
+	out, err := exec.Command("go", append([]string{"run", "./cmd/thermsched"}, cliArgs...)...).CombinedOutput()
 	if err != nil {
 		t.Fatalf("CLI failed: %v\n%s", err, out)
 	}
@@ -92,4 +86,48 @@ func TestSimulateResponseIdenticalAcrossSurfaces(t *testing.T) {
 	if got := normalize(&cli); got != wantJSON {
 		t.Errorf("CLI response diverges from Engine.Run:\n  engine %s\n  cli    %s", wantJSON, got)
 	}
+}
+
+func TestSimulateResponseIdenticalAcrossSurfaces(t *testing.T) {
+	crossSurface(t,
+		thermalsched.NewRequest(thermalsched.FlowSimulate,
+			thermalsched.WithBenchmark("Bm2"),
+			thermalsched.WithPolicy(thermalsched.ThermalAware),
+			thermalsched.WithSimulate(thermalsched.SimulateSpec{Replicas: 3, Seed: 5, MinFactor: 0.8}),
+		),
+		[]string{"-flow", "simulate", "-benchmark", "Bm2", "-policy", "thermal",
+			"-replicas", "3", "-seed", "5", "-minfactor", "0.8", "-json"})
+}
+
+func TestGenerateResponseIdenticalAcrossSurfaces(t *testing.T) {
+	crossSurface(t,
+		thermalsched.NewRequest(thermalsched.FlowGenerate,
+			thermalsched.WithScenario(thermalsched.ScenarioSpec{
+				Seed: 11,
+				Graph: thermalsched.ScenarioGraphParams{
+					Tasks: 35, Shape: thermalsched.ScenarioShapeSeriesParallel, BranchDensity: 0.4,
+				},
+				Platform: thermalsched.ScenarioPlatformParams{
+					PEs: 6, MinSpeed: 0.6, MaxSpeed: 2.0,
+				},
+			}),
+		),
+		[]string{"-flow", "generate", "-tasks", "35", "-shape", "series-parallel",
+			"-branchfrac", "0.4", "-pes", "6", "-minspeed", "0.6", "-maxspeed", "2.0",
+			"-seed", "11", "-json"})
+}
+
+func TestCampaignResponseIdenticalAcrossSurfaces(t *testing.T) {
+	crossSurface(t,
+		thermalsched.NewRequest(thermalsched.FlowCampaign,
+			thermalsched.WithCampaign(thermalsched.CampaignSpec{
+				Scenarios: 4,
+				Seed:      9,
+				MinTasks:  20,
+				MaxTasks:  40,
+				Policies:  []string{"h3", "thermal"},
+			}),
+		),
+		[]string{"-flow", "campaign", "-scenarios", "4", "-seed", "9",
+			"-mintasks", "20", "-maxtasks", "40", "-policies", "h3,thermal", "-json"})
 }

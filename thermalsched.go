@@ -29,16 +29,22 @@
 // they remain as thin deprecated wrappers over a shared default Engine
 // and return results identical to earlier releases.
 //
+// Beyond the paper's four benchmarks, the generate and campaign flows
+// run the same machinery on synthetic workloads: seeded random task
+// graphs on generated heterogeneous platforms (ScenarioSpec), singly
+// or fanned out as a policy-comparison campaign (CampaignSpec).
+//
 // This package is the public facade over the implementation packages:
 //
 //	internal/taskgraph   task graphs, TGFF-like generator, paper benchmarks
 //	internal/techlib     technology library (WCET/WCPC tables, PE types)
+//	internal/scenario    synthetic scenarios: seeded graph + platform generators
 //	internal/sched       the ASP: policies Baseline, H1–H3, ThermalAware
 //	internal/floorplan   slicing-tree GA/SA floorplanner, platform layouts
 //	internal/hotspot     compact thermal RC model (steady state, transient)
 //	internal/power       power profiles, traces, leakage feedback
 //	internal/cosynth     the two flows of the paper's Figure 1
-//	internal/experiments reproduction of Tables 1–3
+//	internal/experiments Tables 1–3, the sweep, DTM and scaling studies
 //	internal/service     request validation/routing for cmd/thermschedd
 package thermalsched
 
@@ -287,6 +293,16 @@ func NewSuite() (*Suite, error) { return experiments.NewSuite() }
 
 // SweepResult aggregates the randomized robustness study.
 type SweepResult = experiments.SweepResult
+
+// Scaling-study types (Engine.ScalingTable, cmd/tables -scaling).
+type (
+	// ScalingTable is the beyond-the-paper scaling study: the
+	// thermal-aware flow over generated scenarios of growing task
+	// counts.
+	ScalingTable = experiments.ScalingTable
+	// ScalingRow is one task-count point of the scaling study.
+	ScalingRow = experiments.ScalingRow
+)
 
 // RunSweep compares the power-aware and thermal-aware ASPs over count
 // random task graphs on the platform flow.
