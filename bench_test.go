@@ -570,6 +570,86 @@ func BenchmarkConditionalTaskGraphs(b *testing.B) {
 	}
 }
 
+// BenchmarkFloorplanGA measures the thermal-objective GA floorplanner —
+// every candidate pays a Stockmeyer pack plus a HotSpot model build and
+// solve — at serial and parallel settings of the search backbone. The
+// result is byte-identical at every P (asserted in
+// internal/floorplan/parallel_test.go); only wall-clock changes, from
+// the expression-fingerprint memo and the worker pool.
+func BenchmarkFloorplanGA(b *testing.B) {
+	hs := hotspot.DefaultConfig()
+	blocks := make([]floorplan.Block, 6)
+	powerMap := map[string]float64{}
+	for i := range blocks {
+		name := fmt.Sprintf("pe%d", i)
+		blocks[i] = floorplan.Block{
+			Name: name, Area: 1e-6 * float64(4+2*(i%3)), MinAspect: 0.5, MaxAspect: 2,
+		}
+		powerMap[name] = 3 + float64(i)*2
+	}
+	eval := func(fp *floorplan.Floorplan, pw map[string]float64) (float64, error) {
+		m, err := hotspot.NewModel(fp, hs)
+		if err != nil {
+			return 0, err
+		}
+		t, err := m.SteadyState(pw)
+		if err != nil {
+			return 0, err
+		}
+		return t.Max(), nil
+	}
+	for _, p := range []int{1, 4} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := floorplan.DefaultGAConfig()
+				cfg.Generations = 20
+				cfg.Parallelism = p
+				cfg.Eval = eval
+				cfg.Power = powerMap
+				res, err := floorplan.RunGA(blocks, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.Logf("P=%d: peak %.2f °C, %d evals, %d memo hits",
+						p, res.PeakTemp, res.Evals, res.MemoHits)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCoSynthesis measures the full thermal-aware co-synthesis
+// flow on Bm1 (the BenchmarkFigure1Flows/Fig1a workload) at serial and
+// parallel settings: candidate architectures fan out over the pool and
+// each GA floorplanner shares it.
+func BenchmarkCoSynthesis(b *testing.B) {
+	lib, err := techlib.StandardLibrary()
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := taskgraph.Benchmark("Bm1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []int{1, 4} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := cosynth.RunCoSynthesis(g, lib, cosynth.CoSynthConfig{
+					Policy: sched.ThermalAware, FloorplanGenerations: 10, Parallelism: p,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.Logf("P=%d: %d PEs, %d evals, %d memo hits",
+						p, len(res.Arch.PEs), res.SearchEvals, res.SearchMemoHits)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkScenarioGenerate measures synthetic-scenario generation —
 // the setup cost a campaign pays once per scenario (then amortized via
 // the Engine's fingerprint cache).

@@ -216,8 +216,11 @@ type CampaignDuel struct {
 	MeanAvgRedC  float64 `json:"meanAvgRedC"`
 	MeanPowerRed float64 `json:"meanPowerRedW"`
 	// ThrottleWins counts scenarios where the reference throttled
-	// strictly less (simulate mode only).
+	// strictly less — beyond experiments.WinEpsilon, like every other
+	// duel column; ThrottleTies the scenarios inside the epsilon band
+	// (simulate mode only).
 	ThrottleWins int `json:"throttleWins,omitempty"`
+	ThrottleTies int `json:"throttleTies,omitempty"`
 }
 
 // CampaignReport is the FlowCampaign payload: per-scenario rows plus
@@ -415,8 +418,8 @@ func aggregateCampaign(r *CampaignReport) {
 			tally(dMax, &duel.MaxTempWins, &duel.MaxTempTies)
 			tally(dAvg, &duel.AvgTempWins, &duel.AvgTempTies)
 			tally(dPow, &duel.PowerWins, &duel.PowerTies)
-			if r.Simulated && ref.ThrottleTime < oc.ThrottleTime {
-				duel.ThrottleWins++
+			if r.Simulated {
+				tally(oc.ThrottleTime-ref.ThrottleTime, &duel.ThrottleWins, &duel.ThrottleTies)
 			}
 		}
 		if duel.Compared > 0 {
@@ -452,7 +455,7 @@ func (r *CampaignReport) String() string {
 			d.MaxTempWins, d.MaxTempTies, d.MeanMaxRedC,
 			d.AvgTempWins, d.AvgTempTies, d.MeanAvgRedC)
 		if r.Simulated {
-			fmt.Fprintf(&b, "    throttles less on %d/%d\n", d.ThrottleWins, d.Compared)
+			fmt.Fprintf(&b, "    throttles less on %d/%d (%d ties)\n", d.ThrottleWins, d.Compared, d.ThrottleTies)
 		}
 	}
 	return b.String()

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"thermalsched/internal/experiments"
 	"thermalsched/internal/taskgraph"
 	"thermalsched/internal/techlib"
 )
@@ -321,5 +322,63 @@ func TestCampaignValidation(t *testing.T) {
 		if err := req.Validate(); err != nil {
 			t.Errorf("good request %d rejected: %v", i, err)
 		}
+	}
+}
+
+// The throttle duel follows the same strict-win-plus-ties treatment as
+// the temperature and power duels: deltas inside ±WinEpsilon are ties,
+// not wins (a raw < used to count the reference as non-winning on
+// exact ties and sub-epsilon noise as wins).
+func TestCampaignThrottleDuelEpsilonAndTies(t *testing.T) {
+	eps := experiments.WinEpsilon
+	rows := []CampaignRow{
+		// Exact tie: identical throttle times must count as a tie.
+		{Scenario: "tie", Cells: []CampaignCell{
+			{Policy: "thermal", Feasible: true, ThrottleTime: 10},
+			{Policy: "heuristic3", Feasible: true, ThrottleTime: 10},
+		}},
+		// Sub-epsilon noise in either direction: also a tie, not a win.
+		{Scenario: "noise+", Cells: []CampaignCell{
+			{Policy: "thermal", Feasible: true, ThrottleTime: 10},
+			{Policy: "heuristic3", Feasible: true, ThrottleTime: 10 + eps/2},
+		}},
+		{Scenario: "noise-", Cells: []CampaignCell{
+			{Policy: "thermal", Feasible: true, ThrottleTime: 10},
+			{Policy: "heuristic3", Feasible: true, ThrottleTime: 10 - eps/2},
+		}},
+		// Genuine win: the reference throttles strictly less.
+		{Scenario: "win", Cells: []CampaignCell{
+			{Policy: "thermal", Feasible: true, ThrottleTime: 5},
+			{Policy: "heuristic3", Feasible: true, ThrottleTime: 9},
+		}},
+		// Genuine loss: neither a win nor a tie.
+		{Scenario: "loss", Cells: []CampaignCell{
+			{Policy: "thermal", Feasible: true, ThrottleTime: 9},
+			{Policy: "heuristic3", Feasible: true, ThrottleTime: 5},
+		}},
+	}
+	r := &CampaignReport{
+		Scenarios: len(rows),
+		Policies:  []string{"thermal", "heuristic3"},
+		Reference: "thermal",
+		Simulated: true,
+		Rows:      rows,
+	}
+	aggregateCampaign(r)
+	if len(r.Duels) != 1 {
+		t.Fatalf("want 1 duel, got %d", len(r.Duels))
+	}
+	d := r.Duels[0]
+	if d.Compared != 5 {
+		t.Errorf("Compared = %d, want 5", d.Compared)
+	}
+	if d.ThrottleWins != 1 {
+		t.Errorf("ThrottleWins = %d, want 1 (strict wins only)", d.ThrottleWins)
+	}
+	if d.ThrottleTies != 3 {
+		t.Errorf("ThrottleTies = %d, want 3 (exact tie + sub-epsilon noise both ways)", d.ThrottleTies)
+	}
+	if !strings.Contains(r.String(), "3 ties") {
+		t.Errorf("summary does not report throttle ties:\n%s", r.String())
 	}
 }

@@ -28,6 +28,7 @@ func main() {
 		algo       = flag.String("algo", "ga", "search algorithm: ga or sa")
 		gens       = flag.Int("gens", 60, "GA generations")
 		seed       = flag.Int64("seed", 1, "search seed")
+		parallel   = flag.Int("parallelism", 1, "concurrent packing evaluations (results are byte-identical at every value)")
 		tempWeight = flag.Float64("tempweight", 1.0, "thermal objective weight (0 = area only)")
 		out        = flag.String("o", "", "output .flp file (default stdout)")
 	)
@@ -61,6 +62,7 @@ func main() {
 		cfg := floorplan.DefaultGAConfig()
 		cfg.Generations = *gens
 		cfg.Seed = *seed
+		cfg.Parallelism = *parallel
 		cfg.TempWeight = *tempWeight
 		if *tempWeight > 0 && len(power) > 0 {
 			cfg.Eval = eval
@@ -72,6 +74,7 @@ func main() {
 	case "sa":
 		cfg := floorplan.DefaultSAConfig()
 		cfg.Seed = *seed
+		cfg.Parallelism = *parallel
 		cfg.TempWeight = *tempWeight
 		if *tempWeight > 0 && len(power) > 0 {
 			cfg.Eval = eval

@@ -10,6 +10,7 @@
 //	thermsched -benchmark Bm1 -policy thermal
 //	thermsched -graph my.tg -policy h3 -gantt
 //	thermsched -flow cosynthesis -benchmark Bm2 -json
+//	thermsched -flow cosynthesis -benchmark Bm2 -parallelism 4 -json
 //	thermsched -flow simulate -benchmark Bm3 -replicas 16 -seed 1 -json
 //	thermsched -flow generate -tasks 80 -pes 8 -seed 7 -json
 //	thermsched -flow platform -tasks 80 -pes 8 -seed 7
@@ -43,6 +44,7 @@ func main() {
 		tempW     = flag.Float64("tempweight", 0, "override the thermal DC weight (0 = default)")
 		seed      = flag.Int64("seed", -1, "run seed (0 is a valid seed, honored verbatim; negative = default)")
 		count     = flag.Int("count", 0, "sweep graph count (0 = default)")
+		parallel  = flag.Int("parallelism", 0, "search parallelism for cosynthesis (0 = engine default GOMAXPROCS, 1 = serial; results are byte-identical at every value)")
 		asJSON    = flag.Bool("json", false, "emit the serializable Response schema as JSON")
 
 		// FlowSimulate knobs (closed-loop DTM co-simulation).
@@ -105,6 +107,11 @@ func main() {
 	}
 	if *count > 0 {
 		req.SweepCount = *count
+	}
+	if *parallel != 0 {
+		// Negative values flow through so Validate rejects them with
+		// the same diagnostic the API surfaces.
+		req.Parallelism = *parallel
 	}
 	switch req.Flow {
 	case thermalsched.FlowSimulate:

@@ -1,12 +1,12 @@
 package thermalsched
 
 import (
-	"container/list"
 	"context"
 	"fmt"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"thermalsched/internal/cosynth"
@@ -15,6 +15,7 @@ import (
 	"thermalsched/internal/floorplan"
 	"thermalsched/internal/hotspot"
 	rt "thermalsched/internal/runtime"
+	"thermalsched/internal/search"
 	"thermalsched/internal/sim"
 	"thermalsched/internal/taskgraph"
 	"thermalsched/internal/techlib"
@@ -30,7 +31,14 @@ type Engine struct {
 	lib     *Library
 	thermal ThermalConfig
 	workers int
-	models  *modelCache
+	// models is a bounded LRU of thermal models keyed by floorplan
+	// geometry and configuration. Models are safe for concurrent
+	// read-only use, so one cached instance can serve many RunBatch
+	// workers at once; a hit reuses not only the Cholesky factorization
+	// but also the model's lazily-built influence matrix — the
+	// steady-state fast path every thermal inquiry rides — so repeated
+	// thermal flows over one floorplan pay for both exactly once.
+	models *search.LRU[*hotspot.Model]
 	// scenarios memoizes generated synthetic scenarios by fingerprint,
 	// so a campaign's policies share one generation per scenario.
 	scenarios *scenarioCache
@@ -39,6 +47,17 @@ type Engine struct {
 	// simTokens is the engine-wide parallelism pool for simulate-flow
 	// replica fan-out; see runSimulateFlow.
 	simTokens chan struct{}
+	// search is the engine-wide parallel search backbone
+	// (WithSearchParallelism): one token pool shared by every
+	// co-synthesis run's candidate fan-out and GA floorplanner, so
+	// search parallelism composes with the RunBatch worker pool without
+	// oversubscription — acquisition is non-blocking and saturated jobs
+	// run inline on their worker.
+	search *search.Pool
+	// searchEvals/searchMemoHits aggregate the floorplanner's memo
+	// accounting across every co-synthesis run; see SearchMemoStats.
+	searchEvals    atomic.Uint64
+	searchMemoHits atomic.Uint64
 }
 
 // Option configures an Engine under construction; see NewEngine.
@@ -49,6 +68,7 @@ type engineOptions struct {
 	thermal   ThermalConfig
 	workers   int
 	cacheSize int
+	searchPar int
 }
 
 // DefaultModelCacheSize bounds the Engine's thermal-model cache. A
@@ -79,6 +99,18 @@ func WithModelCacheSize(n int) Option {
 	return func(o *engineOptions) { o.cacheSize = n }
 }
 
+// WithSearchParallelism bounds the engine's parallel search backbone:
+// the concurrent candidate evaluations of the co-synthesis architecture
+// loops and the GA floorplanner inside them (default: GOMAXPROCS; 1
+// runs every search serially, the historical behavior). Candidates are
+// always generated serially from the seeded RNG and merged in
+// submission order, so results are byte-identical at every setting —
+// parallelism only changes wall-clock. Requests can override the value
+// per run via Request.Parallelism.
+func WithSearchParallelism(n int) Option {
+	return func(o *engineOptions) { o.searchPar = n }
+}
+
 // NewEngine builds an Engine: it loads (or accepts) the technology
 // library, parses the paper benchmarks once, and prepares the thermal
 // model cache.
@@ -87,12 +119,16 @@ func NewEngine(opts ...Option) (*Engine, error) {
 		thermal:   hotspot.DefaultConfig(),
 		workers:   runtime.GOMAXPROCS(0),
 		cacheSize: DefaultModelCacheSize,
+		searchPar: runtime.GOMAXPROCS(0),
 	}
 	for _, opt := range opts {
 		opt(&o)
 	}
 	if o.workers < 1 {
 		return nil, fmt.Errorf("thermalsched: engine needs at least 1 worker, got %d", o.workers)
+	}
+	if o.searchPar < 1 {
+		return nil, fmt.Errorf("thermalsched: engine needs search parallelism of at least 1, got %d", o.searchPar)
 	}
 	if o.cacheSize < 0 {
 		return nil, fmt.Errorf("thermalsched: negative model cache size %d", o.cacheSize)
@@ -114,10 +150,11 @@ func NewEngine(opts ...Option) (*Engine, error) {
 		lib:       lib,
 		thermal:   o.thermal,
 		workers:   o.workers,
-		models:    newModelCache(o.cacheSize),
+		models:    search.NewLRU[*hotspot.Model](o.cacheSize),
 		scenarios: newScenarioCache(DefaultScenarioCacheSize),
 		benches:   make(map[string]*Graph),
 		simTokens: make(chan struct{}, o.workers),
+		search:    search.NewPool(o.searchPar),
 	}
 	for _, name := range taskgraph.BenchmarkNames() {
 		g, err := taskgraph.Benchmark(name)
@@ -346,12 +383,24 @@ func (e *Engine) platform(ctx context.Context, g *Graph, lib *Library, cfg cosyn
 }
 
 // cosynthesize executes the co-synthesis flow with the engine's thermal
-// model cache wired in.
+// model cache and parallel search backbone wired in. A request-level
+// Parallelism (cfg.Parallelism > 0) builds its own bounded pool;
+// otherwise the engine-wide shared pool applies, so concurrent RunBatch
+// workers draw search parallelism from one budget.
 func (e *Engine) cosynthesize(ctx context.Context, g *Graph, lib *Library, cfg cosynth.CoSynthConfig) (*FlowResult, error) {
 	if cfg.Models == nil {
 		cfg.Models = e.modelProvider()
 	}
-	return cosynth.RunCoSynthesisCtx(ctx, g, lib, cfg)
+	if cfg.Search == nil && cfg.Parallelism == 0 {
+		cfg.Search = e.search
+	}
+	res, err := cosynth.RunCoSynthesisCtx(ctx, g, lib, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.searchEvals.Add(uint64(res.SearchEvals))
+	e.searchMemoHits.Add(uint64(res.SearchMemoHits))
+	return res, nil
 }
 
 func (e *Engine) runPlatformFlow(ctx context.Context, req *Request) (*Response, error) {
@@ -616,19 +665,19 @@ func (e *Engine) runSimulateFlow(ctx context.Context, req *Request) (*Response, 
 // modelProvider returns the cosynth-layer hook backed by the engine's
 // factorization cache.
 func (e *Engine) modelProvider() cosynth.ModelProvider {
-	if e.models.cap == 0 {
+	if e.models.Cap() == 0 {
 		return nil // caching disabled; cosynth falls back to hotspot.NewModel
 	}
 	return func(fp *floorplan.Floorplan, cfg hotspot.Config) (*hotspot.Model, error) {
 		key := modelKey(fp, cfg)
-		if m, ok := e.models.get(key); ok {
+		if m, ok := e.models.Get(key); ok {
 			return m, nil
 		}
 		m, err := hotspot.NewModel(fp, cfg)
 		if err != nil {
 			return nil, err
 		}
-		e.models.put(key, m)
+		e.models.Put(key, m)
 		return m, nil
 	}
 }
@@ -636,7 +685,16 @@ func (e *Engine) modelProvider() cosynth.ModelProvider {
 // ModelCacheStats reports the thermal-model cache's hit/miss counters
 // and current size, for observability and tests.
 func (e *Engine) ModelCacheStats() (hits, misses uint64, size int) {
-	return e.models.stats()
+	return e.models.Stats()
+}
+
+// SearchMemoStats reports the floorplanner's expression-fingerprint
+// memo accounting aggregated over every co-synthesis run the engine has
+// executed: evals counts packings actually evaluated, memoHits the
+// candidates answered from a memo instead — the search-side counterpart
+// of ScenarioCacheStats.
+func (e *Engine) SearchMemoStats() (evals, memoHits uint64) {
+	return e.searchEvals.Load(), e.searchMemoHits.Load()
 }
 
 // modelKey fingerprints a (floorplan, thermal config) pair. Floorplans
@@ -657,69 +715,6 @@ func modelKey(fp *floorplan.Floorplan, cfg hotspot.Config) string {
 		fmt.Fprintf(&b, "%s:%g,%g,%g,%g;", blk.Name, blk.Rect.X, blk.Rect.Y, blk.Rect.W, blk.Rect.H)
 	}
 	return b.String()
-}
-
-// modelCache is a mutex-guarded LRU of thermal models. Models are safe
-// for concurrent read-only use, so one cached instance can serve many
-// RunBatch workers at once. A cache hit reuses not only the Cholesky
-// factorization but also the model's lazily-built influence matrix —
-// the steady-state fast path every thermal inquiry rides — so repeated
-// thermal flows over one floorplan pay for both exactly once.
-type modelCache struct {
-	mu     sync.Mutex
-	cap    int
-	ll     *list.List // front = most recently used
-	byKey  map[string]*list.Element
-	hits   uint64
-	misses uint64
-}
-
-type cacheEntry struct {
-	key   string
-	model *hotspot.Model
-}
-
-func newModelCache(capacity int) *modelCache {
-	return &modelCache{
-		cap:   capacity,
-		ll:    list.New(),
-		byKey: make(map[string]*list.Element),
-	}
-}
-
-func (c *modelCache) get(key string) (*hotspot.Model, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.byKey[key]
-	if !ok {
-		c.misses++
-		return nil, false
-	}
-	c.hits++
-	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).model, true
-}
-
-func (c *modelCache) put(key string, m *hotspot.Model) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.byKey[key]; ok {
-		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).model = m
-		return
-	}
-	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, model: m})
-	for c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.byKey, oldest.Value.(*cacheEntry).key)
-	}
-}
-
-func (c *modelCache) stats() (hits, misses uint64, size int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses, c.ll.Len()
 }
 
 // Default engine backing the deprecated package-level functions. It is

@@ -8,6 +8,7 @@ import (
 	"thermalsched/internal/floorplan"
 	"thermalsched/internal/hotspot"
 	"thermalsched/internal/sched"
+	"thermalsched/internal/search"
 	"thermalsched/internal/taskgraph"
 	"thermalsched/internal/techlib"
 )
@@ -42,6 +43,17 @@ type CoSynthConfig struct {
 	// Models supplies thermal models; nil means hotspot.NewModel. The
 	// Engine layer injects its factorization cache here.
 	Models ModelProvider
+	// Parallelism bounds the concurrent candidate-architecture
+	// evaluations of the co-synthesis neighborhood loops and, through
+	// the shared token pool, the GA floorplanner's packing evaluations
+	// inside each. Candidate enumeration and selection stay serial and
+	// in submission order, so the Result is byte-identical for every
+	// value. 0 and 1 both mean serial.
+	Parallelism int
+	// Search shares an enclosing token pool (the Engine passes its
+	// process-wide pool so concurrent requests compose without
+	// oversubscription). When set it takes precedence over Parallelism.
+	Search *search.Pool
 }
 
 func (c *CoSynthConfig) withDefaults(lib *techlib.Library) (CoSynthConfig, error) {
@@ -87,6 +99,12 @@ func RunCoSynthesis(g *taskgraph.Graph, lib *techlib.Library, cfg CoSynthConfig)
 // RunCoSynthesisCtx is RunCoSynthesis with cancellation: ctx is checked
 // before every candidate-architecture evaluation and threaded into the
 // GA floorplanner and the ASP, so long co-synthesis runs abort promptly.
+//
+// With Parallelism > 1 (or a shared Search pool) each neighborhood of
+// candidate architectures is enumerated serially, evaluated
+// concurrently, and selected in submission order, so the search visits
+// exactly the architectures the serial flow visits and the Result is
+// byte-identical for every parallelism level.
 func RunCoSynthesisCtx(ctx context.Context, g *taskgraph.Graph, lib *techlib.Library, cfg CoSynthConfig) (*Result, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
@@ -94,6 +112,42 @@ func RunCoSynthesisCtx(ctx context.Context, g *taskgraph.Graph, lib *techlib.Lib
 	c, err := cfg.withDefaults(lib)
 	if err != nil {
 		return nil, err
+	}
+	pool := c.Search
+	if pool == nil {
+		pool = search.NewPool(c.Parallelism)
+	}
+
+	// Search accounting: floorplanner packing evaluations and memo hits
+	// summed over every candidate architecture explored, reported on the
+	// final Result.
+	totEvals, totMemoHits := 0, 0
+	account := func(rs ...*Result) {
+		for _, r := range rs {
+			if r != nil {
+				totEvals += r.SearchEvals
+				totMemoHits += r.SearchMemoHits
+			}
+		}
+	}
+	// evaluateAll fans one candidate neighborhood over the pool, filling
+	// results in submission order; the lowest-index error wins, exactly
+	// as in the serial flow.
+	evaluateAll := func(optss [][]int) ([]*Result, error) {
+		out := make([]*Result, len(optss))
+		err := pool.Map(len(optss), func(i int) error {
+			r, err := evaluate(ctx, g, lib, optss[i], c, pool)
+			if err != nil {
+				return err
+			}
+			out[i] = r
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		account(out...)
+		return out, nil
 	}
 
 	// Candidate type indices sorted by cost (cheapest first).
@@ -156,10 +210,11 @@ func RunCoSynthesisCtx(ctx context.Context, g *taskgraph.Graph, lib *techlib.Lib
 	}
 
 	types := []int{seedType.idx} // current architecture as a type multiset
-	best, err := evaluate(ctx, g, lib, types, c)
+	best, err := evaluate(ctx, g, lib, types, c, pool)
 	if err != nil {
 		return nil, err
 	}
+	account(best)
 
 	// Grow until feasible: at each step try appending each candidate type
 	// and upgrading each existing slot to each candidate type. Among
@@ -194,21 +249,12 @@ func RunCoSynthesisCtx(ctx context.Context, g *taskgraph.Graph, lib *techlib.Lib
 			}
 			return a.Metrics.Makespan < b.Metrics.Makespan
 		}
-		consider := func(ts []int) error {
-			r, err := evaluate(ctx, g, lib, ts, c)
-			if err != nil {
-				return err
-			}
-			if bestOpt == nil || better(r, bestOpt.res) {
-				bestOpt = &option{types: ts, res: r}
-			}
-			return nil
-		}
+		// Enumerate the whole neighborhood first (append candidates,
+		// then per-slot upgrades), evaluate it over the pool, and pick
+		// the winner in submission order.
+		var opts [][]int
 		for _, cd := range cands {
-			grown := append(append([]int{}, types...), cd.idx)
-			if err := consider(grown); err != nil {
-				return nil, err
-			}
+			opts = append(opts, append(append([]int{}, types...), cd.idx))
 		}
 		for slot := range types {
 			for _, cd := range cands {
@@ -220,9 +266,16 @@ func RunCoSynthesisCtx(ctx context.Context, g *taskgraph.Graph, lib *techlib.Lib
 				if !unionCovers(upgraded) {
 					continue
 				}
-				if err := consider(upgraded); err != nil {
-					return nil, err
-				}
+				opts = append(opts, upgraded)
+			}
+		}
+		results, err := evaluateAll(opts)
+		if err != nil {
+			return nil, err
+		}
+		for i, r := range results {
+			if bestOpt == nil || better(r, bestOpt.res) {
+				bestOpt = &option{types: opts[i], res: r}
 			}
 		}
 		if bestOpt == nil ||
@@ -245,24 +298,9 @@ func RunCoSynthesisCtx(ctx context.Context, g *taskgraph.Graph, lib *techlib.Lib
 				res   *Result
 			}
 			var bestOpt *option
-			consider := func(ts []int) error {
-				r, err := evaluate(ctx, g, lib, ts, c)
-				if err != nil {
-					return err
-				}
-				if !r.Metrics.Feasible {
-					return nil
-				}
-				if bestOpt == nil || r.Metrics.MaxTemp < bestOpt.res.Metrics.MaxTemp {
-					bestOpt = &option{types: ts, res: r}
-				}
-				return nil
-			}
+			var opts [][]int
 			for _, cd := range cands {
-				grown := append(append([]int{}, types...), cd.idx)
-				if err := consider(grown); err != nil {
-					return nil, err
-				}
+				opts = append(opts, append(append([]int{}, types...), cd.idx))
 			}
 			for slot := range types {
 				for _, cd := range cands {
@@ -274,9 +312,19 @@ func RunCoSynthesisCtx(ctx context.Context, g *taskgraph.Graph, lib *techlib.Lib
 					if !unionCovers(swapped) {
 						continue
 					}
-					if err := consider(swapped); err != nil {
-						return nil, err
-					}
+					opts = append(opts, swapped)
+				}
+			}
+			results, err := evaluateAll(opts)
+			if err != nil {
+				return nil, err
+			}
+			for i, r := range results {
+				if !r.Metrics.Feasible {
+					continue
+				}
+				if bestOpt == nil || r.Metrics.MaxTemp < bestOpt.res.Metrics.MaxTemp {
+					bestOpt = &option{types: opts[i], res: r}
 				}
 			}
 			if bestOpt == nil || bestOpt.res.Metrics.MaxTemp >= best.Metrics.MaxTemp-0.5 {
@@ -293,33 +341,81 @@ func RunCoSynthesisCtx(ctx context.Context, g *taskgraph.Graph, lib *techlib.Lib
 	if best.Metrics.Feasible {
 		for changed := true; changed && len(types) > 1; {
 			changed = false
+			acceptable := func(r *Result) bool {
+				if !r.Metrics.Feasible {
+					return false
+				}
+				if c.Policy == sched.ThermalAware && r.Metrics.MaxTemp > best.Metrics.MaxTemp+0.5 {
+					return false
+				}
+				return true
+			}
+			var opts [][]int
 			for slot := 0; slot < len(types); slot++ {
 				pruned := append(append([]int{}, types[:slot]...), types[slot+1:]...)
 				if !unionCovers(pruned) {
 					continue
 				}
-				r, err := evaluate(ctx, g, lib, pruned, c)
+				opts = append(opts, pruned)
+			}
+			if pool.Parallel() && !pool.Saturated() {
+				// Evaluate every prunable slot concurrently and commit
+				// the first acceptable one — the same prune the serial
+				// scan below commits, at the cost of speculative work on
+				// the later slots. When every token is already held
+				// (concurrent requests on a shared pool) the fan-out
+				// would run inline anyway, so the saturation probe —
+				// a racy hint, both branches commit the same prune —
+				// routes to the early-exit serial scan instead of
+				// paying for speculation with no concurrency to gain.
+				// Errors are collected per slot and surfaced only when
+				// the in-order scan reaches them before an acceptable
+				// commit, exactly as the serial scan would: a failure
+				// in a slot the serial path never evaluates must not
+				// fail the parallel run.
+				results := make([]*Result, len(opts))
+				errs := make([]error, len(opts))
+				_ = pool.Map(len(opts), func(i int) error {
+					results[i], errs[i] = evaluate(ctx, g, lib, opts[i], c, pool)
+					return nil
+				})
+				account(results...)
+				for i, r := range results {
+					if errs[i] != nil {
+						return nil, errs[i]
+					}
+					if acceptable(r) {
+						types, best = opts[i], r
+						changed = true
+						break
+					}
+				}
+				continue
+			}
+			for i := range opts {
+				r, err := evaluate(ctx, g, lib, opts[i], c, pool)
 				if err != nil {
 					return nil, err
 				}
-				if !r.Metrics.Feasible {
-					continue
+				account(r)
+				if acceptable(r) {
+					types, best = opts[i], r
+					changed = true
+					break
 				}
-				if c.Policy == sched.ThermalAware && r.Metrics.MaxTemp > best.Metrics.MaxTemp+0.5 {
-					continue
-				}
-				types, best = pruned, r
-				changed = true
-				break
 			}
 		}
 	}
+	best.SearchEvals, best.SearchMemoHits = totEvals, totMemoHits
 	return best, nil
 }
 
 // evaluate builds a concrete architecture from a type multiset,
 // floorplans it, wires the thermal model, runs the ASP, and scores it.
-func evaluate(ctx context.Context, g *taskgraph.Graph, lib *techlib.Library, types []int, c CoSynthConfig) (*Result, error) {
+// It is safe for concurrent use (the neighborhood fan-out calls it from
+// pool workers); pool is shared with the GA floorplanner so nested
+// parallelism stays within one budget.
+func evaluate(ctx context.Context, g *taskgraph.Graph, lib *techlib.Library, types []int, c CoSynthConfig, pool *search.Pool) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("cosynth: cancelled: %w", err)
 	}
@@ -365,6 +461,7 @@ func evaluate(ctx context.Context, g *taskgraph.Graph, lib *techlib.Library, typ
 	gaCfg := floorplan.DefaultGAConfig()
 	gaCfg.Generations = c.FloorplanGenerations
 	gaCfg.Seed = c.Seed
+	gaCfg.Pool = pool
 	if c.Policy == sched.ThermalAware {
 		gaCfg.Eval = func(fp *floorplan.Floorplan, power map[string]float64) (float64, error) {
 			m, err := c.Models.newModel(fp, hs)
@@ -414,5 +511,6 @@ func evaluate(ctx context.Context, g *taskgraph.Graph, lib *techlib.Library, typ
 	}
 	return &Result{
 		Schedule: s, Arch: arch, Plan: fpRes.Plan, Model: model, Oracle: oracle, Metrics: m,
+		SearchEvals: fpRes.Evals, SearchMemoHits: fpRes.MemoHits,
 	}, nil
 }

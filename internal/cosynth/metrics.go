@@ -63,6 +63,15 @@ type Result struct {
 	Model    *hotspot.Model
 	Oracle   *sched.ModelOracle
 	Metrics  Metrics
+	// SearchEvals and SearchMemoHits aggregate the floorplanner's
+	// packing-evaluation accounting over every candidate architecture a
+	// co-synthesis run explored (zero for platform runs, whose layout is
+	// fixed). The chosen architecture and schedule are byte-identical at
+	// every parallelism level; the counters themselves can run higher
+	// under parallelism, which speculatively evaluates prune candidates
+	// the serial scan skips.
+	SearchEvals    int
+	SearchMemoHits int
 }
 
 // computeMetrics evaluates the paper's table columns for a finished

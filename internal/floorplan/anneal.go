@@ -1,9 +1,12 @@
 package floorplan
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+
+	"thermalsched/internal/search"
 )
 
 // SAConfig parameterizes the simulated-annealing floorplanner, the
@@ -20,7 +23,29 @@ type SAConfig struct {
 	Power      map[string]float64
 
 	Seed int64
+
+	// Parallelism bounds concurrent packing/thermal evaluations.
+	// Proposals are drawn serially in speculative batches (see
+	// saSpecBatch), evaluated concurrently, and accepted in submission
+	// order, so the Result is byte-identical for every value. 0 and 1
+	// both mean serial.
+	Parallelism int
+	// Pool shares an enclosing search's token pool; when set it takes
+	// precedence over Parallelism.
+	Pool *search.Pool
 }
+
+// saSpecBatch is the speculative-proposal batch size: each batch's
+// genomes and acceptance uniforms are drawn serially from the current
+// state, evaluated concurrently, and scanned in order; the first
+// accepted move commits and discards the rest of the batch (their
+// proposals were speculated from the superseded state). The size is a
+// fixed constant — never the parallelism level — so the annealing
+// trajectory is identical at every parallelism setting. Rejection
+// dominates once the temperature drops, so little speculation is
+// wasted where the search spends most of its budget; discarded
+// packings stay in the memo and often pay for themselves later.
+const saSpecBatch = 8
 
 // DefaultSAConfig returns annealing parameters comparable in evaluation
 // budget to DefaultGAConfig.
@@ -39,6 +64,15 @@ func DefaultSAConfig() SAConfig {
 // RunSA searches for a slicing floorplan with simulated annealing over
 // the same move set the GA mutates with.
 func RunSA(blocks []Block, cfg SAConfig) (*Result, error) {
+	return RunSACtx(context.Background(), blocks, cfg)
+}
+
+// RunSACtx is RunSA with the same per-evaluation cancellation contract
+// as RunGACtx: ctx is checked before every packing evaluation (the
+// unit of work — a Stockmeyer pack plus, under a thermal objective, a
+// full model build and solve) and a ctx-wrapping error is returned
+// promptly after cancellation.
+func RunSACtx(ctx context.Context, blocks []Block, cfg SAConfig) (*Result, error) {
 	if len(blocks) == 0 {
 		return nil, fmt.Errorf("floorplan: no blocks to place")
 	}
@@ -51,68 +85,54 @@ func RunSA(blocks []Block, cfg SAConfig) (*Result, error) {
 		return nil, fmt.Errorf("floorplan: cooling rate %g out of (0,1)", cfg.CoolingRate)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	thermal := cfg.Eval != nil && cfg.TempWeight > 0
-	var blockArea float64
-	for _, b := range blocks {
-		blockArea += b.Area
-	}
-	tempScale := 1.0
-	evals := 0
+	h := newEvaluator("SA", blocks, cfg.AreaWeight, cfg.TempWeight, cfg.Eval, cfg.Power,
+		searchPool(cfg.Pool, cfg.Parallelism))
 
-	score := func(e Expression) (float64, *Floorplan, float64, float64, error) {
-		plan, area, err := Pack(e, blocks)
-		if err != nil {
-			return 0, nil, 0, 0, err
-		}
-		evals++
-		cost := cfg.AreaWeight * area / blockArea
-		peak := math.NaN()
-		if thermal {
-			peak, err = cfg.Eval(plan, cfg.Power)
-			if err != nil {
-				return 0, nil, 0, 0, fmt.Errorf("floorplan: thermal evaluation: %w", err)
-			}
-			cost += cfg.TempWeight * peak / tempScale
-		}
-		return cost, plan, area, peak, nil
-	}
-
+	// Seed state: one packing+solve both establishes the temperature
+	// scale and scores it.
 	cur := InitialExpression(len(blocks))
-	if thermal {
-		plan, _, err := Pack(cur, blocks)
-		if err != nil {
-			return nil, err
-		}
-		p, err := cfg.Eval(plan, cfg.Power)
-		if err != nil {
-			return nil, fmt.Errorf("floorplan: thermal evaluation: %w", err)
-		}
-		if p > 0 {
-			tempScale = p
-		}
-	}
-	curCost, curPlan, curArea, curPeak, err := score(cur)
+	curInd, err := h.scoreSeed(ctx, cur)
 	if err != nil {
 		return nil, err
 	}
-	best := &Result{Plan: curPlan, Area: curArea, PeakTemp: curPeak, Cost: curCost}
+	curCost := curInd.cost
+	best := &Result{Plan: curInd.plan, Area: curInd.area, PeakTemp: curInd.peak, Cost: curInd.cost}
 
+	cands := make([]Expression, 0, saSpecBatch)
+	uniforms := make([]float64, 0, saSpecBatch)
 	for temp := cfg.InitialTemp; temp > cfg.MinTemp; temp *= cfg.CoolingRate {
-		for m := 0; m < cfg.MovesPerT; m++ {
-			cand := mutateExpr(cloneExpr(cur), len(blocks), rng, 1)
-			candCost, candPlan, candArea, candPeak, err := score(cand)
+		for m := 0; m < cfg.MovesPerT; {
+			n := saSpecBatch
+			if left := cfg.MovesPerT - m; n > left {
+				n = left
+			}
+			// Draw the whole batch — genomes and acceptance uniforms —
+			// serially from the current state before evaluating anything.
+			cands, uniforms = cands[:0], uniforms[:0]
+			for k := 0; k < n; k++ {
+				cands = append(cands, mutateExpr(cloneExpr(cur), len(blocks), rng, 1))
+				uniforms = append(uniforms, rng.Float64())
+			}
+			inds, err := h.scoreBatch(ctx, cands)
 			if err != nil {
 				return nil, err
 			}
-			d := candCost - curCost
-			if d <= 0 || rng.Float64() < math.Exp(-d/temp) {
-				cur, curCost = cand, candCost
-				if candCost < best.Cost {
-					best = &Result{Plan: candPlan, Area: candArea, PeakTemp: candPeak, Cost: candCost}
+			m += n
+			for k := range inds {
+				d := inds[k].cost - curCost
+				if d <= 0 || uniforms[k] < math.Exp(-d/temp) {
+					cur, curCost = inds[k].expr, inds[k].cost
+					if inds[k].cost < best.Cost {
+						best = &Result{Plan: inds[k].plan, Area: inds[k].area, PeakTemp: inds[k].peak, Cost: inds[k].cost}
+					}
+					// The rest of the batch was speculated from the
+					// superseded state; discard it.
+					break
 				}
 			}
 		}
 	}
-	best.Evals = evals
+	best.Evals = h.evals
+	best.MemoHits = h.memoHits
 	return best, nil
 }

@@ -3,9 +3,10 @@ package floorplan
 import (
 	"context"
 	"fmt"
-	"math"
 	"math/rand"
 	"sort"
+
+	"thermalsched/internal/search"
 )
 
 // Evaluator scores a candidate floorplan for thermal quality. The
@@ -35,6 +36,17 @@ type GAConfig struct {
 	Power map[string]float64
 
 	Seed int64
+
+	// Parallelism bounds concurrent packing/thermal evaluations. Each
+	// generation's candidates are drawn serially from the seeded RNG
+	// (the stream is byte-identical to the serial search), evaluated
+	// concurrently, and merged in submission order, so the Result is
+	// byte-identical for every value. 0 and 1 both mean serial.
+	Parallelism int
+	// Pool shares an enclosing search's token pool (the co-synthesis
+	// architecture fan-out passes its own) so nested searches never
+	// oversubscribe. When set it takes precedence over Parallelism.
+	Pool *search.Pool
 }
 
 // DefaultGAConfig returns the configuration used throughout the
@@ -59,7 +71,12 @@ type Result struct {
 	Area     float64 // bounding-box area, m²
 	PeakTemp float64 // °C; NaN when no thermal evaluation was requested
 	Cost     float64 // final combined fitness (lower is better)
-	Evals    int     // number of packings evaluated
+	Evals    int     // packings actually evaluated (memo misses)
+	// MemoHits counts candidates answered from the expression-
+	// fingerprint memo instead of a fresh pack+solve; Evals + MemoHits
+	// is the number of candidates the search scored. Both are
+	// deterministic for a seed, at every parallelism level.
+	MemoHits int
 }
 
 type individual struct {
@@ -80,6 +97,12 @@ func RunGA(blocks []Block, cfg GAConfig) (*Result, error) {
 // every packing evaluation (the unit of work — a Stockmeyer pack plus,
 // under a thermal objective, a full model build and solve) and returns
 // a ctx-wrapping error promptly after cancellation.
+//
+// The search is split into serial candidate generation and (optionally
+// concurrent) evaluation: each generation's genomes are drawn from the
+// seeded RNG up front, scored over cfg.Parallelism workers through a
+// memoizing evaluator, and merged in submission order — the Result is
+// byte-identical for every parallelism level.
 func RunGACtx(ctx context.Context, blocks []Block, cfg GAConfig) (*Result, error) {
 	if len(blocks) == 0 {
 		return nil, fmt.Errorf("floorplan: no blocks to place")
@@ -96,72 +119,33 @@ func RunGACtx(ctx context.Context, blocks []Block, cfg GAConfig) (*Result, error
 		cfg.TournamentK = 2
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	evals := 0
-
 	// Normalization scales so area and temperature contribute comparably:
 	// area relative to the sum of block areas, temperature relative to the
-	// seed plan's peak.
-	var blockArea float64
-	for _, b := range blocks {
-		blockArea += b.Area
-	}
-	thermal := cfg.Eval != nil && cfg.TempWeight > 0
-	var tempScale float64 = 1
+	// seed plan's peak (set by scoreSeed).
+	h := newEvaluator("GA", blocks, cfg.AreaWeight, cfg.TempWeight, cfg.Eval, cfg.Power,
+		searchPool(cfg.Pool, cfg.Parallelism))
 
-	score := func(e Expression) (individual, error) {
-		if err := ctx.Err(); err != nil {
-			return individual{}, fmt.Errorf("floorplan: GA cancelled after %d evaluations: %w", evals, err)
-		}
-		plan, area, err := Pack(e, blocks)
-		if err != nil {
-			return individual{}, err
-		}
-		evals++
-		ind := individual{expr: e, plan: plan, area: area, peak: math.NaN()}
-		cost := cfg.AreaWeight * area / blockArea
-		if thermal {
-			peak, err := cfg.Eval(plan, cfg.Power)
-			if err != nil {
-				return individual{}, fmt.Errorf("floorplan: thermal evaluation: %w", err)
-			}
-			ind.peak = peak
-			cost += cfg.TempWeight * peak / tempScale
-		}
-		ind.cost = cost
-		return ind, nil
-	}
-
-	// Seed individual establishes the temperature scale.
+	// Seed individual: one packing+solve both establishes the
+	// temperature scale and scores it.
 	seedExpr := InitialExpression(len(blocks))
-	if thermal {
-		plan, _, err := Pack(seedExpr, blocks)
-		if err != nil {
-			return nil, err
-		}
-		p, err := cfg.Eval(plan, cfg.Power)
-		if err != nil {
-			return nil, fmt.Errorf("floorplan: thermal evaluation: %w", err)
-		}
-		if p > 0 {
-			tempScale = p
-		}
-	}
-
-	// Initial population: the seed plus random mutations of it.
-	pop := make([]individual, 0, cfg.PopulationSize)
-	first, err := score(seedExpr)
+	first, err := h.scoreSeed(ctx, seedExpr)
 	if err != nil {
 		return nil, err
 	}
-	pop = append(pop, first)
-	for len(pop) < cfg.PopulationSize {
-		e := mutateExpr(cloneExpr(seedExpr), len(blocks), rng, 1+rng.Intn(4))
-		ind, err := score(e)
-		if err != nil {
-			return nil, err
-		}
-		pop = append(pop, ind)
+
+	// Initial population: the seed plus random mutations of it, drawn
+	// serially and scored as one batch.
+	mutants := make([]Expression, 0, cfg.PopulationSize-1)
+	for len(mutants) < cfg.PopulationSize-1 {
+		mutants = append(mutants, mutateExpr(cloneExpr(seedExpr), len(blocks), rng, 1+rng.Intn(4)))
 	}
+	scored, err := h.scoreBatch(ctx, mutants)
+	if err != nil {
+		return nil, err
+	}
+	pop := make([]individual, 0, cfg.PopulationSize)
+	pop = append(pop, first)
+	pop = append(pop, scored...)
 
 	best := bestOf(pop)
 	for gen := 0; gen < cfg.Generations; gen++ {
@@ -170,7 +154,11 @@ func RunGACtx(ctx context.Context, blocks []Block, cfg GAConfig) (*Result, error
 		for i := 0; i < cfg.Elitism && i < len(pop); i++ {
 			next = append(next, pop[i])
 		}
-		for len(next) < cfg.PopulationSize {
+		// Selection and variation read only the sorted population's
+		// costs, all known before the generation starts, so every
+		// child genome is drawn before any child is evaluated.
+		children := make([]Expression, 0, cfg.PopulationSize-len(next))
+		for len(next)+len(children) < cfg.PopulationSize {
 			a := tournament(pop, cfg.TournamentK, rng)
 			var child Expression
 			if rng.Float64() < cfg.CrossoverRate {
@@ -182,13 +170,13 @@ func RunGACtx(ctx context.Context, blocks []Block, cfg GAConfig) (*Result, error
 			if rng.Float64() < cfg.MutationRate {
 				child = mutateExpr(child, len(blocks), rng, 1+rng.Intn(3))
 			}
-			ind, err := score(child)
-			if err != nil {
-				return nil, err
-			}
-			next = append(next, ind)
+			children = append(children, child)
 		}
-		pop = next
+		scored, err := h.scoreBatch(ctx, children)
+		if err != nil {
+			return nil, err
+		}
+		pop = append(next, scored...)
 		if b := bestOf(pop); b.cost < best.cost {
 			best = b
 		}
@@ -198,7 +186,8 @@ func RunGACtx(ctx context.Context, blocks []Block, cfg GAConfig) (*Result, error
 		Area:     best.area,
 		PeakTemp: best.peak,
 		Cost:     best.cost,
-		Evals:    evals,
+		Evals:    h.evals,
+		MemoHits: h.memoHits,
 	}, nil
 }
 

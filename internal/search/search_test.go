@@ -1,0 +1,153 @@
+package search
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewPoolSerialIsNil(t *testing.T) {
+	for _, p := range []int{-1, 0, 1} {
+		if NewPool(p) != nil {
+			t.Errorf("NewPool(%d) should be the nil serial pool", p)
+		}
+	}
+	if NewPool(4) == nil {
+		t.Error("NewPool(4) should be parallel")
+	}
+	if (*Pool)(nil).Parallel() {
+		t.Error("nil pool reports Parallel")
+	}
+	if !NewPool(2).Parallel() {
+		t.Error("2-way pool does not report Parallel")
+	}
+}
+
+func TestMapRunsEveryJobOnce(t *testing.T) {
+	for _, par := range []int{1, 2, 8} {
+		p := NewPool(par)
+		const n = 100
+		counts := make([]int32, n)
+		if err := p.Map(n, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("par %d: job %d ran %d times", par, i, c)
+			}
+		}
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	errAt := func(bad map[int]bool) func(i int) error {
+		return func(i int) error {
+			if bad[i] {
+				return fmt.Errorf("job %d failed", i)
+			}
+			return nil
+		}
+	}
+	bad := map[int]bool{7: true, 3: true, 19: true}
+	var serial, parallel error
+	serial = (*Pool)(nil).Map(32, errAt(bad))
+	for trial := 0; trial < 20; trial++ {
+		parallel = NewPool(4).Map(32, errAt(bad))
+		if parallel == nil || serial == nil || parallel.Error() != serial.Error() {
+			t.Fatalf("error selection not deterministic: serial %v, parallel %v", serial, parallel)
+		}
+	}
+	if serial.Error() != "job 3 failed" {
+		t.Errorf("lowest-index error not returned: %v", serial)
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const par = 3
+	p := NewPool(par)
+	var cur, peak int32
+	var mu sync.Mutex
+	err := p.Map(64, func(i int) error {
+		c := atomic.AddInt32(&cur, 1)
+		mu.Lock()
+		if c > peak {
+			peak = c
+		}
+		mu.Unlock()
+		atomic.AddInt32(&cur, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > par {
+		t.Errorf("observed %d concurrent jobs, pool allows %d", peak, par)
+	}
+}
+
+// Nested Map calls on one shared pool must not deadlock: acquisition is
+// non-blocking, so inner jobs run inline when the outer fan-out holds
+// every token.
+func TestMapNestedSharedPoolNoDeadlock(t *testing.T) {
+	p := NewPool(2)
+	var ran int32
+	err := p.Map(8, func(i int) error {
+		return p.Map(8, func(j int) error {
+			atomic.AddInt32(&ran, 1)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 64 {
+		t.Errorf("nested maps ran %d inner jobs, want 64", ran)
+	}
+}
+
+func TestLRUBasics(t *testing.T) {
+	c := NewLRU[int](2)
+	if _, ok := c.Get("a"); ok {
+		t.Error("empty cache hit")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Errorf("Get(a) = %d, %v", v, ok)
+	}
+	c.Put("c", 3) // evicts b (least recently used after the a touch)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c missing")
+	}
+	hits, misses, size := c.Stats()
+	if hits != 2 || misses != 2 || size != 2 {
+		t.Errorf("stats = %d hits, %d misses, %d entries", hits, misses, size)
+	}
+}
+
+func TestLRUPutRefreshesExisting(t *testing.T) {
+	c := NewLRU[int](2)
+	c.Put("a", 1)
+	c.Put("a", 10)
+	if v, _ := c.Get("a"); v != 10 {
+		t.Errorf("refreshed value = %d, want 10", v)
+	}
+	if _, _, size := c.Stats(); size != 1 {
+		t.Errorf("size = %d after duplicate Put", size)
+	}
+}
+
+func TestLRUZeroCapacityDisabled(t *testing.T) {
+	c := NewLRU[int](0)
+	c.Put("a", 1)
+	if _, ok := c.Get("a"); ok {
+		t.Error("zero-capacity cache stored an entry")
+	}
+}

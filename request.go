@@ -317,6 +317,14 @@ type Request struct {
 	MaxPEs               int      `json:"maxPEs,omitempty"`
 	CandidateTypes       []string `json:"candidateTypes,omitempty"`
 	FloorplanGenerations int      `json:"floorplanGenerations,omitempty"`
+	// Parallelism overrides the engine's search parallelism for this
+	// request: the bound on concurrent candidate-architecture and
+	// floorplan-packing evaluations of the search-driven cosynthesis
+	// flow (Validate rejects it on other flows, which never consume
+	// it). 0 uses the engine's setting (WithSearchParallelism, default
+	// GOMAXPROCS); 1 forces the serial search. Results are
+	// byte-identical at every value — only wall-clock changes.
+	Parallelism int `json:"parallelism,omitempty"`
 	// Seed drives the GA floorplanner (FlowCoSynthesis) or the graph
 	// generator (FlowSweep). Nil keeps the historical default (1); an
 	// explicit zero is honored as seed 0.
@@ -430,6 +438,13 @@ func WithCandidateTypes(names ...string) RequestOption {
 // candidate architecture.
 func WithFloorplanGenerations(n int) RequestOption {
 	return func(r *Request) { r.FloorplanGenerations = n }
+}
+
+// WithParallelism overrides the engine's search parallelism for this
+// request (0 = engine default, 1 = serial). Results are byte-identical
+// at every value.
+func WithParallelism(n int) RequestOption {
+	return func(r *Request) { r.Parallelism = n }
 }
 
 // WithSweepCount sets how many random graphs FlowSweep evaluates.
@@ -554,6 +569,12 @@ func (r *Request) Validate() error {
 	if r.FloorplanGenerations < 0 {
 		return fmt.Errorf("thermalsched: negative floorplan generations %d", r.FloorplanGenerations)
 	}
+	if r.Parallelism < 0 {
+		return fmt.Errorf("thermalsched: negative parallelism %d", r.Parallelism)
+	}
+	if r.Parallelism > 0 && r.Flow != FlowCoSynthesis {
+		return fmt.Errorf("thermalsched: parallelism on a %q request (only the search-driven cosynthesis flow consumes it)", r.Flow)
+	}
 	if r.DTM != nil && r.Flow != FlowDTM {
 		return fmt.Errorf("thermalsched: dtm parameters on a %q request", r.Flow)
 	}
@@ -638,6 +659,7 @@ func (r *Request) cosynthConfig() (cosynth.CoSynthConfig, error) {
 		MaxPEs:               r.MaxPEs,
 		BusTimePerUnit:       r.BusTimePerUnit,
 		FloorplanGenerations: r.FloorplanGenerations,
+		Parallelism:          r.Parallelism,
 	}
 	if r.Seed != nil {
 		cfg.Seed = *r.Seed
