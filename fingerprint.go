@@ -1,0 +1,116 @@
+package thermalsched
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+)
+
+// Fingerprint returns a stable hex digest of the request's canonical
+// form: two requests with equal fingerprints are guaranteed to produce
+// byte-identical Responses (modulo the wall-clock elapsedMs field), so
+// the async job tier can coalesce identical in-flight or journaled
+// requests onto one Engine evaluation. It is built like the Engine's
+// modelKey and scenario.Spec.Fingerprint: every field is serialized
+// explicitly, field by field — a reflective dump would silently
+// destabilize the key on pointer fields — and
+// TestRequestFingerprintCoversFields pins the field counts so
+// additions cannot be forgotten here.
+//
+// Canonicalization rules:
+//
+//   - Seed normalizes nil to 1: a nil Seed "keeps the historical
+//     default (1)" in every flow that consumes it (sweep and
+//     cosynthesis), so nil and an explicit 1 coalesce. An explicit 0
+//     is seed 0, distinct from both — the seed-zero contract.
+//   - Parallelism is excluded: results are documented byte-identical
+//     at every parallelism level, so requests differing only there
+//     coalesce onto one evaluation.
+//   - The other pointer-typed knobs (TempWeight, …, DTM, Simulate,
+//     Campaign) serialize presence plus value, except DTM and Simulate
+//     which serialize their withDefaults() normalization — the only
+//     form the flows ever consume — so a nil spec, a zero spec and an
+//     explicitly-default-valued spec all share one fingerprint.
+//
+// Distinct fingerprints do NOT imply distinct responses (two different
+// seeds can happen to schedule identically); the guarantee is one-way,
+// which is the safe direction for a coalescing key.
+func (r *Request) Fingerprint() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "req/v1|%s|%s|%s|%t|%g|", r.Flow, r.Benchmark, r.Policy, r.IncludeGantt, r.BusTimePerUnit)
+	fpFloatPtr(h, r.TempWeight)
+	fpFloatPtr(h, r.PowerWeight)
+	fpFloatPtr(h, r.EnergyWeight)
+	fpFloatPtr(h, r.ThermalHorizon)
+	fmt.Fprintf(h, "%d|%d|%d|", r.MaxPEs, r.FloorplanGenerations, r.SweepCount)
+	fmt.Fprintf(h, "ct%d|", len(r.CandidateTypes))
+	for _, t := range r.CandidateTypes {
+		fmt.Fprintf(h, "%s|", t)
+	}
+	seed := int64(1) // nil keeps the historical default
+	if r.Seed != nil {
+		seed = *r.Seed
+	}
+	fmt.Fprintf(h, "seed=%d|", seed)
+	if r.Graph == nil {
+		fmt.Fprint(h, "g-|")
+	} else {
+		g := r.Graph
+		fmt.Fprintf(h, "g+%s|%g|t%d|", g.Name, g.Deadline, len(g.Tasks))
+		for _, t := range g.Tasks {
+			fmt.Fprintf(h, "%d,%s,%d;", t.ID, t.Name, t.Type)
+		}
+		fmt.Fprintf(h, "e%d|", len(g.Edges))
+		for _, e := range g.Edges {
+			fmt.Fprintf(h, "%d,%d,%g,%g;", e.From, e.To, e.Data, e.Prob)
+		}
+	}
+	if r.Scenario == nil {
+		fmt.Fprint(h, "sc-|")
+	} else {
+		// Scenario specs already define the canonical fingerprint the
+		// Engine's scenario cache keys on; reuse it verbatim.
+		fmt.Fprintf(h, "sc+%s|", r.Scenario.Fingerprint())
+	}
+	d := r.DTM.withDefaults()
+	fmt.Fprintf(h, "dtm:%s|%g|%g|%g|%g|%g|%g|%g|%g|%g|%d|%g|%d|",
+		d.Controller, d.TriggerC, d.Hysteresis, d.Throttle, d.SetpointC, d.Kp, d.Ki,
+		d.MinScale, d.SampleDT, d.TimeScale, d.Passes, d.MinFactor, d.SimSeed)
+	s := r.Simulate.withDefaults()
+	fmt.Fprintf(h, "sim:%s|%g|%g|%g|%g|%g|%g|%g|%g|%g|%g|%d|%t|%t|%d|",
+		s.Controller, s.TriggerC, s.Hysteresis, s.Throttle, s.SetpointC, s.Kp, s.Ki,
+		s.MinScale, s.DT, s.TimeScale, s.MinFactor, s.Seed, s.Conditional, s.WarmStart, s.Replicas)
+	c := r.Campaign.withDefaults()
+	fmt.Fprintf(h, "cmp:%d|%d|%d|%d|p%d|", c.Scenarios, c.Seed, c.MinTasks, c.MaxTasks, len(c.Policies))
+	for _, p := range c.Policies {
+		fmt.Fprintf(h, "%s|", p)
+	}
+	if c.Template == nil {
+		fmt.Fprint(h, "tpl-|")
+	} else {
+		fmt.Fprintf(h, "tpl+%s|", c.Template.Fingerprint())
+	}
+	// Unlike Request.Simulate, presence is semantic here: nil means
+	// "static platform flow", a set spec (even zero-valued) means
+	// "closed-loop co-simulation". Only the set case normalizes.
+	if c.Simulate == nil {
+		fmt.Fprint(h, "csim-|")
+	} else {
+		cs := c.Simulate.withDefaults()
+		fmt.Fprintf(h, "csim+%s|%g|%g|%g|%g|%g|%g|%g|%g|%g|%g|%d|%t|%t|%d|",
+			cs.Controller, cs.TriggerC, cs.Hysteresis, cs.Throttle, cs.SetpointC, cs.Kp, cs.Ki,
+			cs.MinScale, cs.DT, cs.TimeScale, cs.MinFactor, cs.Seed, cs.Conditional, cs.WarmStart, cs.Replicas)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// fpFloatPtr serializes an optional float knob as presence plus value:
+// nil ("use the calibrated default") stays distinct from any explicit
+// override, including an explicit zero.
+func fpFloatPtr(w io.Writer, v *float64) {
+	if v == nil {
+		fmt.Fprint(w, "-|")
+		return
+	}
+	fmt.Fprintf(w, "+%g|", *v)
+}

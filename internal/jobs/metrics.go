@@ -1,0 +1,100 @@
+package jobs
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Metrics are the job tier's monotonic counters. All fields are
+// atomic; read them through Snapshot.
+type Metrics struct {
+	// Submitted counts accepted submissions (including coalesced and
+	// stored-result hits); Evaluations the Engine runs actually
+	// started — Submitted − Evaluations is the work coalescing saved.
+	Submitted   atomic.Uint64
+	Evaluations atomic.Uint64
+	// CoalesceInflight counts submissions attached to a running or
+	// queued identical evaluation; CoalesceStored submissions served
+	// from a stored (completed or journal-replayed) result.
+	CoalesceInflight atomic.Uint64
+	CoalesceStored   atomic.Uint64
+	// Completed/Failed/Cancelled count per-job terminal transitions.
+	Completed atomic.Uint64
+	Failed    atomic.Uint64
+	Cancelled atomic.Uint64
+	// RejectedQueue counts submissions refused by the queue-depth cap;
+	// RejectedRate submissions refused by the per-client rate limit
+	// (incremented by the service layer).
+	RejectedQueue atomic.Uint64
+	RejectedRate  atomic.Uint64
+	// Replayed counts journal records restored at startup;
+	// JournalErrors append failures (results stay served from memory).
+	Replayed      atomic.Uint64
+	JournalErrors atomic.Uint64
+}
+
+// MetricsSnapshot is a consistent-enough copy of the counters (each
+// counter is read atomically; the set is not a transaction).
+type MetricsSnapshot struct {
+	Submitted, Evaluations           uint64
+	CoalesceInflight, CoalesceStored uint64
+	Completed, Failed, Cancelled     uint64
+	RejectedQueue, RejectedRate      uint64
+	Replayed, JournalErrors          uint64
+}
+
+// Snapshot reads every counter.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Submitted:        m.Submitted.Load(),
+		Evaluations:      m.Evaluations.Load(),
+		CoalesceInflight: m.CoalesceInflight.Load(),
+		CoalesceStored:   m.CoalesceStored.Load(),
+		Completed:        m.Completed.Load(),
+		Failed:           m.Failed.Load(),
+		Cancelled:        m.Cancelled.Load(),
+		RejectedQueue:    m.RejectedQueue.Load(),
+		RejectedRate:     m.RejectedRate.Load(),
+		Replayed:         m.Replayed.Load(),
+		JournalErrors:    m.JournalErrors.Load(),
+	}
+}
+
+// Metrics returns the manager's counter set. The service layer
+// increments RejectedRate through it.
+func (m *Manager) Metrics() *Metrics { return m.metrics }
+
+// PromWriter emits the Prometheus text exposition format (text/plain;
+// version=0.0.4): a # HELP / # TYPE header per family followed by
+// samples, optionally labelled. It is a minimal hand-rolled writer —
+// the container bakes in no Prometheus client library, and the text
+// format is small enough to pin with a parser test.
+type PromWriter struct {
+	W io.Writer
+}
+
+// Family writes the HELP/TYPE header for a metric family. typ is
+// "counter" or "gauge".
+func (p *PromWriter) Family(name, typ, help string) {
+	fmt.Fprintf(p.W, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Sample writes one unlabelled sample.
+func (p *PromWriter) Sample(name string, value float64) {
+	fmt.Fprintf(p.W, "%s %g\n", name, value)
+}
+
+// LabelledSample writes one sample with label pairs (label, value,
+// label, value, …). Label values are escaped per the exposition
+// format.
+func (p *PromWriter) LabelledSample(name string, value float64, pairs ...string) {
+	fmt.Fprintf(p.W, "%s{", name)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if i > 0 {
+			fmt.Fprint(p.W, ",")
+		}
+		fmt.Fprintf(p.W, "%s=%q", pairs[i], pairs[i+1])
+	}
+	fmt.Fprintf(p.W, "} %g\n", value)
+}

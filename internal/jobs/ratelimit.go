@@ -1,0 +1,84 @@
+package jobs
+
+import (
+	"sync"
+	"time"
+)
+
+// RateLimiter is a per-client token bucket: each client key accrues
+// Rate tokens per second up to Burst, and one submission consumes one
+// token. A zero-rate limiter admits everything. Stale buckets are
+// evicted lazily so an open service cannot accumulate unbounded
+// per-client state.
+type RateLimiter struct {
+	rate  float64 // tokens per second; 0 disables limiting
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxBuckets bounds per-client state; when exceeded the stalest
+// buckets are dropped (a dropped client restarts with a full burst,
+// which only ever errs in the client's favor).
+const maxBuckets = 4096
+
+// NewRateLimiter builds a limiter admitting rate submissions per
+// second with the given burst per client. rate 0 disables limiting;
+// burst 0 defaults to max(1, rate).
+func NewRateLimiter(rate, burst float64) *RateLimiter {
+	if burst <= 0 {
+		burst = rate
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &RateLimiter{rate: rate, burst: burst, now: time.Now, buckets: make(map[string]*bucket)}
+}
+
+// Allow reports whether the client may submit now, consuming a token
+// when it may.
+func (l *RateLimiter) Allow(client string) bool {
+	if l == nil || l.rate <= 0 {
+		return true
+	}
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[client]
+	if !ok {
+		if len(l.buckets) >= maxBuckets {
+			l.evictLocked(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// evictLocked drops buckets that have been idle long enough to be
+// full again — forgetting them is lossless.
+func (l *RateLimiter) evictLocked(now time.Time) {
+	for k, b := range l.buckets {
+		idle := now.Sub(b.last).Seconds()
+		if b.tokens+idle*l.rate >= l.burst {
+			delete(l.buckets, k)
+		}
+	}
+}

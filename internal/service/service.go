@@ -1,19 +1,26 @@
 // Package service exposes a thermalsched Engine as an HTTP/JSON API:
-// request decoding and validation, flow routing, and concurrency
-// limiting. cmd/thermschedd is the thin binary around it.
+// request decoding and validation, flow routing, concurrency limiting,
+// and the async job tier. cmd/thermschedd is the thin binary around it.
 //
 // Endpoints:
 //
-//	POST /v1/run    one thermalsched.Request  -> one thermalsched.Response
-//	POST /v1/batch  []thermalsched.Request    -> []thermalsched.Response
-//	GET  /healthz   liveness + engine cache stats
+//	POST   /v1/run             one thermalsched.Request  -> one thermalsched.Response (synchronous)
+//	POST   /v1/batch           []thermalsched.Request    -> []thermalsched.Response (synchronous)
+//	POST   /v1/jobs            one thermalsched.Request  -> jobs.Job (202; submit-then-poll)
+//	GET    /v1/jobs/{id}       jobs.Job (status + result when done)
+//	GET    /v1/jobs/{id}/events  SSE job lifecycle stream
+//	DELETE /v1/jobs/{id}       cancel; returns the resulting jobs.Job
+//	GET    /metrics            Prometheus text exposition
+//	GET    /healthz            liveness + engine cache/memo stats
 //
 // The wire schema is exactly the package's Request/Response types, so
 // the CLI's -json output, the service's responses, and library-level
-// JSON round trips all share one format. Every Engine flow is served,
-// including the synthetic-scenario generate and campaign flows; their
-// size limits (scenario.MaxTasks/MaxPEs, MaxCampaignScenarios) are
-// enforced by Request.Validate before any work is admitted.
+// JSON round trips all share one format; an async job's response is
+// byte-identical to the synchronous /v1/run response for the same
+// request. Every Engine flow is served, including the
+// synthetic-scenario generate and campaign flows; their size limits
+// (scenario.MaxTasks/MaxPEs, MaxCampaignScenarios) are enforced by
+// Request.Validate before any work is admitted.
 package service
 
 import (
@@ -21,9 +28,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 
 	"thermalsched"
+	"thermalsched/internal/jobs"
 )
 
 // engineAPI is the slice of thermalsched.Engine the service consumes.
@@ -33,20 +42,32 @@ type engineAPI interface {
 	Run(ctx context.Context, req thermalsched.Request) (*thermalsched.Response, error)
 	RunBatch(ctx context.Context, reqs []thermalsched.Request) ([]*thermalsched.Response, error)
 	ModelCacheStats() (hits, misses uint64, size int)
+	ScenarioCacheStats() (hits, misses uint64, size int)
+	SearchMemoStats() (evals, memoHits uint64)
 }
 
 // Config tunes the service.
 type Config struct {
-	// MaxInFlight bounds the number of requests being executed at once
-	// across all endpoints (a batch counts once per entry). Zero means
-	// DefaultMaxInFlight.
+	// MaxInFlight bounds the number of synchronous requests being
+	// executed at once across /v1/run and /v1/batch (a batch counts
+	// once). Zero means DefaultMaxInFlight. The job tier has its own
+	// worker pool (Jobs.Workers) and does not draw from this limit.
 	MaxInFlight int
 	// MaxBatch caps the entries accepted by /v1/batch. Zero means
 	// DefaultMaxBatch.
 	MaxBatch int
 	// MaxBodyBytes caps the request body size. Zero means
-	// DefaultMaxBodyBytes.
+	// DefaultMaxBodyBytes. Oversized bodies are rejected with HTTP 413.
 	MaxBodyBytes int64
+	// Jobs tunes the async job tier (queue depth, worker pool,
+	// journal path, retention); see jobs.Config.
+	Jobs jobs.Config
+	// RatePerSec and RateBurst bound per-client job submissions: each
+	// client (X-Client-ID header, falling back to the remote address)
+	// may submit RatePerSec jobs per second with bursts of RateBurst.
+	// Zero RatePerSec disables rate limiting.
+	RatePerSec float64
+	RateBurst  float64
 }
 
 // Defaults for Config's zero values.
@@ -75,18 +96,25 @@ func (c Config) Validate() error {
 		return fmt.Errorf("service: negative limits (inflight %d, batch %d, body %d)",
 			c.MaxInFlight, c.MaxBatch, c.MaxBodyBytes)
 	}
-	return nil
+	if c.RatePerSec < 0 || c.RateBurst < 0 {
+		return fmt.Errorf("service: negative rate limit (%g/s, burst %g)", c.RatePerSec, c.RateBurst)
+	}
+	return c.Jobs.Validate()
 }
 
 // Service routes scheduling requests to an Engine under a concurrency
-// limit. Construct with New; it is safe for concurrent use.
+// limit and owns the async job tier. Construct with New, Close on
+// shutdown; it is safe for concurrent use.
 type Service struct {
 	engine engineAPI
 	cfg    Config
-	slots  chan struct{} // counting semaphore, one slot per running request
+	slots  chan struct{} // counting semaphore, one slot per running sync request
+	jobs   *jobs.Manager
+	rate   *jobs.RateLimiter
 }
 
-// New wraps an engine with validation, routing and concurrency limits.
+// New wraps an engine with validation, routing, concurrency limits and
+// the job tier (replaying the journal when one is configured).
 func New(engine *thermalsched.Engine, cfg Config) (*Service, error) {
 	if engine == nil {
 		return nil, fmt.Errorf("service: nil engine")
@@ -99,18 +127,37 @@ func newWith(engine engineAPI, cfg Config) (*Service, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
+	mgr, err := jobs.Open(engine, cfg.Jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rate *jobs.RateLimiter
+	if cfg.RatePerSec > 0 {
+		rate = jobs.NewRateLimiter(cfg.RatePerSec, cfg.RateBurst)
+	}
 	return &Service{
 		engine: engine,
 		cfg:    cfg,
 		slots:  make(chan struct{}, cfg.MaxInFlight),
+		jobs:   mgr,
+		rate:   rate,
 	}, nil
 }
+
+// Close shuts the job tier down: queued and running jobs are
+// cancelled and the journal is flushed and closed.
+func (s *Service) Close() error { return s.jobs.Close() }
 
 // Handler returns the HTTP handler serving the service's endpoints.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
 }
@@ -135,7 +182,9 @@ func writeError(w http.ResponseWriter, status int, err error) {
 // acquire takes an execution slot. When the service is saturated the
 // request queues here until a slot frees or the client disconnects —
 // admission is blocking by design, so bursty callers see latency
-// rather than rejections.
+// rather than rejections. (The async job tier is the non-blocking
+// alternative: POST /v1/jobs returns immediately and rejects with 429
+// only when its queue cap is hit.)
 func (s *Service) acquire(r *http.Request) error {
 	select {
 	case s.slots <- struct{}{}:
@@ -150,7 +199,7 @@ func (s *Service) release() { <-s.slots }
 func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 	var req thermalsched.Request
 	if err := s.decode(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, decodeStatus(err), err)
 		return
 	}
 	if err := req.Validate(); err != nil {
@@ -175,7 +224,7 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var reqs []thermalsched.Request
 	if err := s.decode(w, r, &reqs); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, decodeStatus(err), err)
 		return
 	}
 	if len(reqs) == 0 {
@@ -216,16 +265,29 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 type healthBody struct {
-	Status      string `json:"status"`
+	Status string `json:"status"`
+	// Model-cache stats (thermal-model factorizations).
 	CacheHits   uint64 `json:"cacheHits"`
 	CacheMisses uint64 `json:"cacheMisses"`
 	CacheSize   int    `json:"cacheSize"`
+	// Generated-scenario cache stats.
+	ScenarioCacheHits   uint64 `json:"scenarioCacheHits"`
+	ScenarioCacheMisses uint64 `json:"scenarioCacheMisses"`
+	ScenarioCacheSize   int    `json:"scenarioCacheSize"`
+	// Parallel-search memo accounting (co-synthesis floorplanner).
+	SearchEvals    uint64 `json:"searchEvals"`
+	SearchMemoHits uint64 `json:"searchMemoHits"`
 }
 
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
 	hits, misses, size := s.engine.ModelCacheStats()
+	scHits, scMisses, scSize := s.engine.ScenarioCacheStats()
+	evals, memoHits := s.engine.SearchMemoStats()
 	writeJSON(w, http.StatusOK, healthBody{
-		Status: "ok", CacheHits: hits, CacheMisses: misses, CacheSize: size,
+		Status:    "ok",
+		CacheHits: hits, CacheMisses: misses, CacheSize: size,
+		ScenarioCacheHits: scHits, ScenarioCacheMisses: scMisses, ScenarioCacheSize: scSize,
+		SearchEvals: evals, SearchMemoHits: memoHits,
 	})
 }
 
@@ -241,4 +303,28 @@ func (s *Service) decode(w http.ResponseWriter, r *http.Request, v any) error {
 		return fmt.Errorf("service: trailing data after JSON body")
 	}
 	return nil
+}
+
+// decodeStatus maps a decode failure to its HTTP status: an oversized
+// body is 413 Content Too Large (the cap is a policy limit, not a
+// malformed request), everything else 400.
+func decodeStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// clientKey identifies the submitting client for per-client rate
+// limits: an explicit X-Client-ID header wins, else the remote host.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
 }

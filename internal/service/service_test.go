@@ -24,7 +24,10 @@ func testServer(t *testing.T, cfg Config) *httptest.Server {
 		t.Fatal(err)
 	}
 	srv := httptest.NewServer(svc.Handler())
-	t.Cleanup(srv.Close)
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
 	return srv
 }
 
@@ -131,7 +134,9 @@ func (f *failingEngine) RunBatch(context.Context, []thermalsched.Request) ([]*th
 	return nil, f.err
 }
 
-func (f *failingEngine) ModelCacheStats() (uint64, uint64, int) { return 0, 0, 0 }
+func (f *failingEngine) ModelCacheStats() (uint64, uint64, int)    { return 0, 0, 0 }
+func (f *failingEngine) ScenarioCacheStats() (uint64, uint64, int) { return 0, 0, 0 }
+func (f *failingEngine) SearchMemoStats() (uint64, uint64)         { return 0, 0 }
 
 // Regression: an engine-level batch failure with a live client must
 // surface as a 500 JSON error envelope, never as HTTP 200 with a null
@@ -142,7 +147,10 @@ func TestServeBatchEngineFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	srv := httptest.NewServer(svc.Handler())
-	t.Cleanup(srv.Close)
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
 
 	resp, body := post(t, srv.URL+"/v1/batch", `[{"flow":"platform","benchmark":"Bm1"}]`)
 	if resp.StatusCode != http.StatusInternalServerError {
@@ -200,14 +208,43 @@ func TestServeHealth(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz status %d", resp.StatusCode)
 	}
-	var h struct {
-		Status string `json:"status"`
-	}
+	var h map[string]any
 	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
 		t.Fatal(err)
 	}
-	if h.Status != "ok" {
-		t.Errorf("health status %q", h.Status)
+	if h["status"] != "ok" {
+		t.Errorf("health status %v", h["status"])
+	}
+	// All three engine stat families must be reported: the model
+	// cache, the scenario cache, and the search memo.
+	for _, key := range []string{
+		"cacheHits", "cacheMisses", "cacheSize",
+		"scenarioCacheHits", "scenarioCacheMisses", "scenarioCacheSize",
+		"searchEvals", "searchMemoHits",
+	} {
+		if _, ok := h[key]; !ok {
+			t.Errorf("healthz missing %q: %v", key, h)
+		}
+	}
+}
+
+// Regression: a body over MaxBodyBytes must surface as 413 Content Too
+// Large, not a generic 400 — the cap is a policy limit, and clients
+// need to distinguish "shrink your request" from "fix your request".
+func TestServeOversizedBody413(t *testing.T) {
+	srv := testServer(t, Config{MaxBodyBytes: 64})
+	big := `{"flow":"platform","benchmark":"Bm1","policy":"` + strings.Repeat("x", 256) + `"}`
+	for _, path := range []string{"/v1/run", "/v1/batch", "/v1/jobs"} {
+		resp, body := post(t, srv.URL+path, big)
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s: oversized body got status %d, want 413 (%s)", path, resp.StatusCode, body)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: missing error envelope: %s", path, body)
+		}
 	}
 }
 
