@@ -1,0 +1,255 @@
+// Command thermalvet runs the repository's determinism & serialization
+// contract analyzers (internal/lint): mapiter, seedzero, fpfields and
+// walltime. It speaks two protocols:
+//
+//   - Direct:      thermalvet ./...
+//     Loads, type-checks and analyzes the packages matching the
+//     patterns (via `go list -export`), printing findings and exiting
+//     nonzero if there are any. This is the local developer loop.
+//
+//   - Vet tool:    go vet -vettool=$(which thermalvet) ./...
+//     cmd/go invokes the binary once per package with a JSON config
+//     file argument (the unitchecker protocol: -V=full for the build
+//     cache, -flags for flag discovery, then <unit>.cfg per unit).
+//     This is how CI runs it, composing with go vet's own checks,
+//     package graph and caching.
+//
+// The protocol plumbing is hand-rolled here because this module
+// carries no third-party dependencies (golang.org/x/tools's
+// unitchecker is the reference implementation).
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"thermalsched/internal/lint"
+	"thermalsched/internal/lint/analysis"
+	"thermalsched/internal/lint/load"
+)
+
+func main() {
+	args := os.Args[1:]
+	switch {
+	case len(args) == 1 && (args[0] == "-V=full" || args[0] == "--V=full"):
+		printVersion()
+	case len(args) == 1 && (args[0] == "-flags" || args[0] == "--flags"):
+		// Flag discovery: thermalvet exposes no tool flags.
+		fmt.Println("[]")
+	case len(args) == 1 && strings.HasSuffix(args[0], ".cfg"):
+		os.Exit(unitcheck(args[0]))
+	default:
+		os.Exit(direct(args))
+	}
+}
+
+// printVersion implements -V=full: cmd/go fingerprints the tool by
+// this line (name, version, and a content hash standing in for a
+// build ID) to decide when cached vet results are stale. The format
+// replicates x/tools' unitchecker, which in turn replicates
+// cmd/internal/objabi.AddVersionFlag.
+func printVersion() {
+	progname, err := os.Executable()
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Open(progname)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, string(h.Sum(nil)))
+}
+
+// direct loads and analyzes whole package patterns.
+func direct(patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	pkgs, err := load.Packages(patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	var all []diagnostic
+	for _, pkg := range pkgs {
+		for _, e := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "thermalvet: %v\n", e)
+		}
+		if len(pkg.TypeErrors) > 0 {
+			return 1
+		}
+		all = append(all, analyze(pkg.Fset, pkg.Files, pkg.Pkg, pkg.TypesInfo)...)
+	}
+	return report(all)
+}
+
+// vetConfig is the unitchecker protocol's per-unit JSON config (the
+// subset thermalvet consumes).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one compilation unit described by a vet config.
+func unitcheck(cfgPath string) int {
+	blob, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(blob, &cfg); err != nil {
+		fatal(fmt.Errorf("parsing %s: %v", cfgPath, err))
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return writeVetx(cfg)
+			}
+			fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the export data cmd/go already built
+	// for the unit's dependency closure.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	var typeErrors []error
+	conf := types.Config{
+		Importer: load.ImporterWithLookup(fset, lookup),
+		Error:    func(err error) { typeErrors = append(typeErrors, err) },
+	}
+	if v := cfg.GoVersion; v != "" && strings.HasPrefix(v, "go") {
+		conf.GoVersion = v
+	}
+	info := load.NewInfo()
+	pkg, _ := conf.Check(cfg.ImportPath, fset, files, info)
+	if len(typeErrors) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(cfg)
+		}
+		for _, e := range typeErrors {
+			fmt.Fprintf(os.Stderr, "thermalvet: %v\n", e)
+		}
+		return 1
+	}
+
+	diags := analyze(fset, files, pkg, info)
+	if code := writeVetx(cfg); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	return report(diags)
+}
+
+// writeVetx records the (empty) fact set for the unit: thermalvet's
+// analyzers export no facts, but cmd/go caches the output file and
+// requires it to exist.
+func writeVetx(cfg vetConfig) int {
+	if cfg.VetxOutput == "" {
+		return 0
+	}
+	if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+		fatal(err)
+	}
+	return 0
+}
+
+type diagnostic struct {
+	pos      token.Position
+	analyzer string
+	message  string
+}
+
+// analyze runs the full suite over one typed package. Diagnostics
+// reported at the same position with the same message by different
+// analyzers (shared waiver validation) are deduplicated.
+func analyze(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) []diagnostic {
+	var diags []diagnostic
+	seen := map[string]bool{}
+	for _, a := range lint.Analyzers() {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				pos := fset.Position(d.Pos)
+				key := fmt.Sprintf("%s|%s", pos, d.Message)
+				if seen[key] {
+					return
+				}
+				seen[key] = true
+				diags = append(diags, diagnostic{pos: pos, analyzer: a.Name, message: d.Message})
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			fatal(fmt.Errorf("analyzer %s: %v", a.Name, err))
+		}
+	}
+	return diags
+}
+
+// report prints findings in file order and returns the exit code:
+// 0 clean, 2 findings (matching go vet's convention).
+func report(diags []diagnostic) int {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].pos, diags[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.pos, d.message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "thermalvet: %v\n", err)
+	os.Exit(1)
+}

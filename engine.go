@@ -236,6 +236,7 @@ func (e *Engine) resolveInput(req *Request) (*runInput, error) {
 // packing evaluations and co-synthesis's candidate evaluations — so a
 // cancelled context aborts promptly with an error wrapping ctx.Err().
 func (e *Engine) Run(ctx context.Context, req Request) (*Response, error) {
+	//thermalvet:allow walltime(elapsedMs is an observability stamp, documented as excluded from the byte-identity contract)
 	start := time.Now()
 	if err := req.Validate(); err != nil {
 		return nil, err
@@ -268,6 +269,7 @@ func (e *Engine) Run(ctx context.Context, req Request) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
+	//thermalvet:allow walltime(elapsedMs is an observability stamp, documented as excluded from the byte-identity contract)
 	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
 	return resp, nil
 }
@@ -702,8 +704,11 @@ func (e *Engine) SearchMemoStats() (evals, memoHits uint64) {
 // same factorization iff they are the same layout. The Config fields
 // are serialized explicitly, field by field — a reflective "%+v" would
 // silently produce colliding (pointer addresses) or unstable keys if
-// Config ever gained pointer or slice fields. TestModelKeyCoversConfig
-// pins the field count so additions cannot be forgotten here.
+// Config ever gained pointer or slice fields. The thermalvet fpfields
+// analyzer checks the registration below statically: a Config field
+// missing from this serialization fails the lint job by name.
+//
+//thermalvet:serializes hotspot.Config
 func modelKey(fp *floorplan.Floorplan, cfg hotspot.Config) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "si=%g,die=%g,sivh=%g,iface=%g,spk=%g,spt=%g,spvh=%g,sps=%g,ring=%g,conv=%g,sinkc=%g,amb=%g|",

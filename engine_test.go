@@ -462,15 +462,6 @@ func TestModelKeyDistinctConfigs(t *testing.T) {
 	}
 }
 
-// Pin the Config field count: a new field must be added to modelKey's
-// explicit serialization (and then this count bumped), otherwise two
-// configs differing only in the new field would collide in the cache.
-func TestModelKeyCoversConfig(t *testing.T) {
-	if n := reflect.TypeOf(ThermalConfig{}).NumField(); n != 12 {
-		t.Fatalf("hotspot.Config now has %d fields; extend modelKey's explicit serialization and update this pin", n)
-	}
-}
-
 func TestSimulateReplicaCap(t *testing.T) {
 	e := testEngine(t)
 	_, err := e.Run(context.Background(), NewRequest(FlowSimulate,

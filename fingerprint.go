@@ -13,9 +13,11 @@ import (
 // requests onto one Engine evaluation. It is built like the Engine's
 // modelKey and scenario.Spec.Fingerprint: every field is serialized
 // explicitly, field by field — a reflective dump would silently
-// destabilize the key on pointer fields — and
-// TestRequestFingerprintCoversFields pins the field counts so
-// additions cannot be forgotten here.
+// destabilize the key on pointer fields. The thermalvet fpfields
+// analyzer checks the registrations below against the struct
+// definitions, so adding a field without serializing it here fails
+// `go vet`; TestRequestFingerprintCoversFields keeps one slim
+// runtime pin as belt-and-braces.
 //
 // Canonicalization rules:
 //
@@ -35,6 +37,14 @@ import (
 // Distinct fingerprints do NOT imply distinct responses (two different
 // seeds can happen to schedule identically); the guarantee is one-way,
 // which is the safe direction for a coalescing key.
+//
+//thermalvet:serializes Request skip(Parallelism)
+//thermalvet:serializes GraphSpec
+//thermalvet:serializes TaskSpec
+//thermalvet:serializes EdgeSpec
+//thermalvet:serializes DTMSpec
+//thermalvet:serializes SimulateSpec
+//thermalvet:serializes CampaignSpec
 func (r *Request) Fingerprint() string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "req/v1|%s|%s|%s|%t|%g|", r.Flow, r.Benchmark, r.Policy, r.IncludeGantt, r.BusTimePerUnit)

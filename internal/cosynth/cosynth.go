@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 
 	"thermalsched/internal/floorplan"
 	"thermalsched/internal/hotspot"
@@ -80,6 +81,7 @@ func (c *CoSynthConfig) withDefaults(lib *techlib.Library) (CoSynthConfig, error
 	if out.FloorplanGenerations == 0 {
 		out.FloorplanGenerations = 30
 	}
+	//thermalvet:allow seedzero(guarded by the SeedSet presence flag: zero with SeedSet unset means "not provided" and takes the historical default 1; an explicit Seed 0 sets SeedSet and is honored verbatim)
 	if out.Seed == 0 && !out.SeedSet {
 		out.Seed = 1
 	}
@@ -169,13 +171,20 @@ func RunCoSynthesisCtx(ctx context.Context, g *taskgraph.Graph, lib *techlib.Lib
 		}
 	}
 
-	// Task types used by the graph (the initial PE must cover them all).
-	used := map[int]bool{}
+	// Task types used by the graph (the initial PE must cover them
+	// all), deduplicated through a set but iterated as a sorted slice
+	// so coverage failures always report deterministically.
+	usedSet := map[int]bool{}
 	for _, t := range g.Tasks() {
-		used[t.Type] = true
+		usedSet[t.Type] = true
 	}
+	used := make([]int, 0, len(usedSet))
+	for tt := range usedSet {
+		used = append(used, tt)
+	}
+	sort.Ints(used)
 	covers := func(typeIdx int) bool {
-		for tt := range used {
+		for _, tt := range used {
 			if _, ok := lib.Lookup(typeIdx, tt); !ok {
 				return false
 			}
@@ -183,7 +192,7 @@ func RunCoSynthesisCtx(ctx context.Context, g *taskgraph.Graph, lib *techlib.Lib
 		return true
 	}
 	unionCovers := func(types []int) bool {
-		for tt := range used {
+		for _, tt := range used {
 			found := false
 			for _, ti := range types {
 				if _, ok := lib.Lookup(ti, tt); ok {

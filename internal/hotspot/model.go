@@ -184,7 +184,16 @@ func (m *Model) NumBlocks() int { return m.n }
 // Unknown names are an error; blocks absent from the map dissipate zero.
 func (m *Model) powerVector(power map[string]float64) ([]float64, error) {
 	p := make([]float64, m.total)
-	for name, w := range power {
+	names := make([]string, 0, len(power))
+	for name := range power {
+		names = append(names, name)
+	}
+	// The vector fill writes disjoint indices, but which invalid
+	// entry gets reported must not depend on map order: iterate
+	// sorted.
+	sort.Strings(names)
+	for _, name := range names {
+		w := power[name]
 		i, ok := m.byName[name]
 		if !ok {
 			return nil, fmt.Errorf("hotspot: power for unknown block %q", name)

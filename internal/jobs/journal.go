@@ -65,9 +65,28 @@ func openJournal(path string) (*journal, []record, error) {
 		return nil, nil, fmt.Errorf("jobs: reading journal: %w", err)
 	}
 	// Position at the end for appends (the scanner consumed the file).
-	if _, err := f.Seek(0, 2); err != nil {
+	end, err := f.Seek(0, 2)
+	if err != nil {
 		f.Close()
 		return nil, nil, fmt.Errorf("jobs: seeking journal: %w", err)
+	}
+	// Heal a torn final write: without a trailing newline the next
+	// append would glue onto the partial line and both records would be
+	// skipped on the following replay — losing an acknowledged append.
+	// A separator newline turns the torn fragment into one skippable
+	// garbage line and keeps every later record intact.
+	if end > 0 {
+		var last [1]byte
+		if _, err := f.ReadAt(last[:], end-1); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("jobs: inspecting journal tail: %w", err)
+		}
+		if last[0] != '\n' {
+			if _, err := f.Write([]byte{'\n'}); err != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("jobs: healing journal tail: %w", err)
+			}
+		}
 	}
 	return &journal{f: f, w: bufio.NewWriter(f)}, records, nil
 }

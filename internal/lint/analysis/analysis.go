@@ -1,0 +1,67 @@
+// Package analysis is a dependency-free re-implementation of the
+// subset of golang.org/x/tools/go/analysis that the thermalvet suite
+// needs: an Analyzer owns a Run function that inspects one typed
+// package through a Pass and reports Diagnostics. The module
+// deliberately carries no third-party dependencies, so instead of
+// importing x/tools we mirror its API shape — analyzers written
+// against this package port to the upstream framework by changing one
+// import path.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //thermalvet:allow waiver comments. It must be a valid Go
+	// identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: first sentence is the
+	// summary shown in usage listings.
+	Doc string
+
+	// Run applies the analyzer to one package. It reports findings
+	// via pass.Report and returns an error only for internal
+	// failures, not for findings.
+	Run func(pass *Pass) error
+}
+
+// Pass presents one typed package to an Analyzer's Run function.
+type Pass struct {
+	// Analyzer is the check being run, so shared helpers can key
+	// waiver lookups on its name.
+	Analyzer *Analyzer
+
+	// Fset maps token positions to file locations.
+	Fset *token.FileSet
+
+	// Files are the package's parsed syntax trees, comments included.
+	Files []*ast.File
+
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+
+	// TypesInfo holds the type-checker's facts about the syntax.
+	TypesInfo *types.Info
+
+	// Report delivers one finding.
+	Report func(Diagnostic)
+}
+
+// Reportf is a convenience wrapper around Report.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Category string
+}

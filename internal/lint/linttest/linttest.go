@@ -1,0 +1,218 @@
+// Package linttest runs thermalvet analyzers over fixture packages,
+// in the style of golang.org/x/tools/go/analysis/analysistest (which
+// this module deliberately does not depend on). Fixtures live under
+// testdata/src/<importpath>/ and carry expectations as comments:
+//
+//	for k := range m { // want `range over map`
+//
+// Each `// want` comment holds one or more quoted regular
+// expressions; every diagnostic reported on that line must match one
+// of them, every expectation must be matched by some diagnostic, and
+// lines without expectations must stay silent. Fixture packages may
+// import the standard library (resolved from compiled export data via
+// `go list -export`) and sibling fixture packages (type-checked
+// recursively from testdata source).
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"thermalsched/internal/lint/analysis"
+	"thermalsched/internal/lint/load"
+)
+
+// Run applies the analyzer to each fixture package (an import path
+// under testdata/src) and checks diagnostics against the fixtures'
+// `// want` expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, importPaths ...string) {
+	t.Helper()
+	ld := &fixtureLoader{
+		srcRoot: filepath.Join(testdata, "src"),
+		fset:    token.NewFileSet(),
+		cache:   map[string]*fixturePkg{},
+	}
+	for _, path := range importPaths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      ld.fset,
+			Files:     pkg.files,
+			Pkg:       pkg.pkg,
+			TypesInfo: pkg.info,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			t.Errorf("%s: analyzer %s failed: %v", path, a.Name, err)
+			continue
+		}
+		checkExpectations(t, ld.fset, pkg.files, diags)
+	}
+}
+
+type fixturePkg struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// fixtureLoader type-checks fixture packages, resolving imports first
+// against testdata source, then against stdlib export data.
+type fixtureLoader struct {
+	srcRoot string
+	fset    *token.FileSet
+	cache   map[string]*fixturePkg
+
+	stdOnce sync.Once
+	stdErr  error
+	std     types.Importer
+	exports map[string]string
+}
+
+func (ld *fixtureLoader) load(importPath string) (*fixturePkg, error) {
+	if pkg, ok := ld.cache[importPath]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(ld.srcRoot, filepath.FromSlash(importPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	info := load.NewInfo()
+	conf := types.Config{Importer: importerFunc(ld.importPkg)}
+	pkg, err := conf.Check(importPath, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture: %v", err)
+	}
+	fp := &fixturePkg{files: files, pkg: pkg, info: info}
+	ld.cache[importPath] = fp
+	return fp, nil
+}
+
+// importPkg resolves one import: fixture-local packages from source,
+// everything else from stdlib export data.
+func (ld *fixtureLoader) importPkg(path string) (*types.Package, error) {
+	if st, err := os.Stat(filepath.Join(ld.srcRoot, filepath.FromSlash(path))); err == nil && st.IsDir() {
+		fp, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return fp.pkg, nil
+	}
+	ld.stdOnce.Do(func() {
+		// The closure of "std" covers anything a fixture could
+		// import; one go list call, served from the build cache.
+		ld.exports, ld.stdErr = load.ExportData("std")
+		ld.std = load.ExportImporter(ld.fset, ld.exports)
+	})
+	if ld.stdErr != nil {
+		return nil, ld.stdErr
+	}
+	return ld.std.Import(path)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// wantRe pulls the quoted regexps out of one // want comment.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// checkExpectations cross-checks reported diagnostics against the
+// fixtures' // want comments.
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// The marker may open the comment or trail a
+				// directive (`//thermalvet:allow ... // want ...`,
+				// one comment token).
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				text := c.Text[idx+len("// want "):]
+				pos := fset.Position(c.Pos())
+				ms := wantRe.FindAllStringSubmatch(text, -1)
+				if len(ms) == 0 {
+					t.Errorf("%s: // want comment with no quoted pattern", pos)
+					continue
+				}
+				for _, m := range ms {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", pos, pat, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.file == pos.Filename && w.line == pos.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Package load turns `go list` package patterns into type-checked
+// packages for the thermalvet analyzers. It deliberately avoids
+// golang.org/x/tools/go/packages (the module carries no third-party
+// dependencies): `go list -export -json -deps` supplies source file
+// lists for the target packages and compiled export data for every
+// dependency, and the standard library's gc importer reads that
+// export data through a lookup function. Only the target packages'
+// sources are parsed and type-checked, so loading stays fast even
+// though the dependency closure includes the standard library.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one type-checked target package ready for analysis.
+type Package struct {
+	ImportPath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+	// TypeErrors holds type-checker soft failures. Analysis still
+	// runs on packages with errors (matching go vet), but drivers
+	// may want to surface them.
+	TypeErrors []error
+}
+
+// listedPackage is the subset of `go list -json` output we consume.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Packages loads, parses and type-checks the packages matching the
+// given `go list` patterns (e.g. "./...").
+func Packages(patterns ...string) ([]*Package, error) {
+	listed, err := golist(patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	var targets []*listedPackage
+	for _, p := range listed {
+		if p.Error != nil && !p.DepOnly {
+			return nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg, err := check(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// ExportData maps every package in the dependency closure of the
+// patterns to its compiled export-data file. The fixture harness uses
+// it to resolve standard-library imports without parsing GOROOT
+// sources.
+func ExportData(patterns ...string) (map[string]string, error) {
+	listed, err := golist(patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// golist shells out to the go tool. -export builds (or reuses from
+// the build cache) export data for every package in the dependency
+// closure; -deps walks the closure so imports of the targets resolve.
+func golist(patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-e", "-export", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list: %v\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var listed []*listedPackage
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		listed = append(listed, &p)
+	}
+	return listed, nil
+}
+
+// ExportImporter returns a types.Importer that resolves import paths
+// through compiled export data files (the values of the exports map,
+// as produced by `go list -export`). The standard gc importer parses
+// the export data; it caches packages internally, so one importer
+// should be shared across all packages of a load.
+func ExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return ImporterWithLookup(fset, func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// ImporterWithLookup returns a types.Importer that reads gc export
+// data through an arbitrary lookup function — the vet-tool protocol
+// hands thermalvet its own import-path → export-file mapping.
+func ImporterWithLookup(fset *token.FileSet, lookup func(path string) (io.ReadCloser, error)) types.Importer {
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// check parses and type-checks one package from source.
+func check(fset *token.FileSet, imp types.Importer, importPath, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	var typeErrors []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrors = append(typeErrors, err) },
+	}
+	pkg, _ := conf.Check(importPath, fset, files, info)
+	return &Package{
+		ImportPath: importPath,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		TypeErrors: typeErrors,
+	}, nil
+}
+
+// NewInfo allocates the types.Info map set the analyzers rely on.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"thermalsched/internal/lint/analysis"
+)
+
+// MapIterAnalyzer flags `for range` over a map inside the
+// deterministic core. Go randomizes map iteration order per run, and
+// order-dependent work in the loop body (float accumulation, first-hit
+// selection, appends that feed a tie-break) is exactly how the PR-4
+// hotspot.NewModel cross-build byte-identity bug happened. Two shapes
+// are accepted without a waiver:
+//
+//   - the collect-then-sort idiom: the loop body only appends the key
+//     (or value) to slice variables, and every one of those slices is
+//     passed to a sort.* / slices.Sort* call later in the same
+//     enclosing block — order-dependence is erased before use;
+//   - an explicit //thermalvet:allow mapiter(reason) waiver on the
+//     statement or the line above, for loops that are genuinely
+//     order-independent (pure counting, draining, symmetric max).
+var MapIterAnalyzer = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc:  "flag range-over-map in the deterministic core unless keys are sorted or the site is waived",
+	Run:  runMapIter,
+}
+
+func runMapIter(pass *analysis.Pass) error {
+	if !isCorePackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		w := fileWaivers(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if w.waivedAt(pass.Fset, rng.Pos(), pass.Analyzer.Name) {
+				return true
+			}
+			if isSortedCollector(pass, f, rng) {
+				return true
+			}
+			pass.Reportf(rng.Pos(),
+				"range over map %s in the deterministic core: iteration order is randomized; collect+sort the keys or waive with //thermalvet:allow mapiter(reason)",
+				types.ExprString(rng.X))
+			return true
+		})
+	}
+	return nil
+}
+
+// isSortedCollector recognizes the canonical deterministic idiom:
+//
+//	keys := make([]K, 0, len(m))
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	sort.Strings(keys) // or sort.Slice, slices.Sort, ...
+//
+// The loop body must consist solely of self-appends to slice
+// variables, and each collected variable must reach a sort call in a
+// statement after the loop within the innermost enclosing statement
+// list. Anything fancier needs an explicit waiver.
+func isSortedCollector(pass *analysis.Pass, f *ast.File, rng *ast.RangeStmt) bool {
+	collected := map[*types.Var]bool{}
+	for _, stmt := range rng.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj, ok := pass.TypesInfo.Uses[lhs].(*types.Var)
+		if !ok {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			return false
+		}
+		if first, ok := call.Args[0].(*ast.Ident); !ok || pass.TypesInfo.Uses[first] != obj {
+			return false
+		}
+		collected[obj] = true
+	}
+	if len(collected) == 0 {
+		return false
+	}
+	after := statementsAfter(f, rng)
+	for obj := range collected {
+		if !sortedIn(pass, after, obj) {
+			return false
+		}
+	}
+	return true
+}
+
+// statementsAfter returns the statements following stmt in its
+// innermost enclosing statement list (block, case or comm clause).
+func statementsAfter(f *ast.File, stmt ast.Stmt) []ast.Stmt {
+	var after []ast.Stmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		default:
+			return true
+		}
+		for i, s := range list {
+			if s == stmt {
+				after = list[i+1:]
+				return false
+			}
+		}
+		return true
+	})
+	return after
+}
+
+// isSortFunc reports whether fn is one of the stdlib sorters whose
+// first argument is the slice being ordered.
+func isSortFunc(fn *types.Func) bool {
+	switch fn.Pkg().Path() {
+	case "sort":
+		switch fn.Name() {
+		case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+			return true
+		}
+	case "slices":
+		switch fn.Name() {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}
+
+// sortedIn reports whether any of the statements (or their nested
+// statements) passes obj to a sort.*/slices.Sort* call.
+func sortedIn(pass *analysis.Pass, stmts []ast.Stmt, obj *types.Var) bool {
+	for _, s := range stmts {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || !isSortFunc(fn) {
+				return true
+			}
+			arg, ok := call.Args[0].(*ast.Ident)
+			if ok && pass.TypesInfo.Uses[arg] == obj {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

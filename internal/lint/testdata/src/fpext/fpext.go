@@ -1,0 +1,17 @@
+// Package fpext provides a cross-package struct for fpfields
+// fixtures, standing in for hotspot.Config behind the Engine's
+// modelKey.
+package fpext
+
+type Config struct {
+	Alpha float64
+	Beta  float64
+	Name  string
+
+	internalScratch int // unexported: outside the contract
+}
+
+// Keep the unexported field "used" so the fixture compiles cleanly.
+func (c *Config) touch() { c.internalScratch++ }
+
+var _ = (*Config).touch

@@ -1,0 +1,70 @@
+// Fixtures for the seedzero analyzer. The analyzer runs in every
+// package: the rewrite bug class has shipped from cmd/ and internal/
+// alike.
+package seedfix
+
+import "errors"
+
+// The canonical bug: an explicit seed 0 is silently rerouted.
+func rewrite(seed int64) int64 {
+	if seed == 0 { // want `seed-zero rewrite: seed == 0 is treated as unset`
+		seed = 1
+	}
+	return seed
+}
+
+type Config struct {
+	Seed    int64
+	SimSeed int64
+	SeedSet bool
+}
+
+// Field selections count too.
+func rewriteField(c *Config) {
+	if c.Seed == 0 { // want `seed-zero rewrite: c.Seed == 0 is treated as unset`
+		c.Seed = 42
+	}
+}
+
+// Reversed operand order and compound conditions still match.
+func reversed(c *Config, n int64) {
+	if n > 3 && 0 == c.SimSeed { // want `seed-zero rewrite: c.SimSeed == 0 is treated as unset`
+		c.SimSeed = n
+	}
+}
+
+// Validating without rewriting is fine: zero is rejected, not
+// silently replaced.
+func validate(seed int64) error {
+	if seed == 0 {
+		return errors.New("seed must be nonzero")
+	}
+	return nil
+}
+
+// A presence flag is the sanctioned pattern: the zero test guards a
+// default only when the caller set nothing, and the assignment
+// targets the flag's companion elsewhere, not the compared seed.
+func defaulted(c *Config) int64 {
+	if !c.SeedSet {
+		return 1
+	}
+	return c.Seed
+}
+
+// Identifiers that are not seed-ish never match.
+func otherZero(count int) int {
+	if count == 0 {
+		count = 10
+	}
+	return count
+}
+
+// An explicit waiver with a justification silences the site.
+func waivedRewrite(seed int64) int64 {
+	//thermalvet:allow seedzero(documented legacy CLI default; see README seeding contract)
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
+}

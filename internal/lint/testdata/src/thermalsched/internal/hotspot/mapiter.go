@@ -1,0 +1,80 @@
+// Fixtures for the mapiter analyzer inside a deterministic-core
+// package path.
+package hotspot
+
+import (
+	"slices"
+	"sort"
+)
+
+// Accumulating floats in map order is the PR-4 bug class: flagged.
+func sum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `range over map m in the deterministic core`
+		total += v
+	}
+	return total
+}
+
+// The collect-then-sort idiom erases iteration order: silent.
+func sortedSum(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var total float64
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
+// slices.Sort counts as sorting too.
+func sortedKeys(m map[int]bool) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// Collecting without sorting leaks map order into the result: flagged.
+func collectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map m in the deterministic core`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// A waiver with a reason silences the site.
+func waived(m map[string]int) int {
+	n := 0
+	//thermalvet:allow mapiter(pure counting is order-independent)
+	for range m {
+		n++
+	}
+	return n
+}
+
+// A waiver without a justification is itself a finding, and does not
+// silence the site.
+func badWaiver(m map[string]int) int {
+	n := 0
+	//thermalvet:allow mapiter() // want `missing its justification`
+	for range m { // want `range over map m in the deterministic core`
+		n++
+	}
+	return n
+}
+
+// Ranging over slices is always fine.
+func sliceSum(xs []float64) float64 {
+	var total float64
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

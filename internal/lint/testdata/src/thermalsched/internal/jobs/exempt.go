@@ -1,0 +1,25 @@
+// Fixtures proving mapiter and walltime are scoped to the
+// deterministic core: the jobs tier ranges over maps and reads the
+// wall clock by design, and none of it is flagged.
+package jobs
+
+import (
+	"math/rand"
+	"time"
+)
+
+func snapshotStates(jobs map[string]int) int {
+	n := 0
+	for _, st := range jobs {
+		n += st
+	}
+	return n
+}
+
+func stamp() int64 {
+	return time.Now().UnixMilli()
+}
+
+func jitter() time.Duration {
+	return time.Duration(rand.Int63n(int64(time.Second)))
+}

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"thermalsched/internal/lint/analysis"
+)
+
+// WallTimeAnalyzer forbids the two ambient nondeterminism sources in
+// the deterministic core: wall-clock reads (time.Now, time.Since,
+// time.Until) and the process-global math/rand state (package-level
+// functions of math/rand and math/rand/v2, whose stream is shared
+// across goroutines and seeded per process). Seeded *rand.Rand
+// instances and rand.New/NewSource constructors are fine — that is
+// exactly the sanctioned pattern. The jobs/service tier is exempt
+// (timestamps and rate limits are wall-clock by design), as are test
+// files. Observability sites that deliberately measure elapsed time
+// (the elapsedMs response stamp, documented as excluded from
+// byte-identity) carry //thermalvet:allow walltime(reason).
+var WallTimeAnalyzer = &analysis.Analyzer{
+	Name: "walltime",
+	Doc:  "forbid time.Now/Since/Until and global math/rand in the deterministic core",
+	Run:  runWallTime,
+}
+
+func runWallTime(pass *analysis.Pass) error {
+	if !isCorePackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		w := fileWaivers(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			bad := ""
+			switch fn.Pkg().Path() {
+			case "time":
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+					bad = "wall-clock read"
+				}
+			case "math/rand", "math/rand/v2":
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() == nil &&
+					!strings.HasPrefix(fn.Name(), "New") {
+					bad = "process-global RNG"
+				}
+			}
+			if bad == "" {
+				return true
+			}
+			if w.waivedAt(pass.Fset, sel.Pos(), pass.Analyzer.Name) {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"%s %s.%s in the deterministic core breaks cross-run byte-identity; thread a seeded source or waive with //thermalvet:allow walltime(reason)",
+				bad, fn.Pkg().Name(), fn.Name())
+			return true
+		})
+	}
+	return nil
+}

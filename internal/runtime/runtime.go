@@ -28,6 +28,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 
 	"thermalsched/internal/dtm"
 	"thermalsched/internal/hotspot"
@@ -441,7 +442,15 @@ func (r *Result) Validate(s *sched.Schedule) error {
 		}
 		byPE[rec.PE] = append(byPE[rec.PE], rec)
 	}
-	for pe, recs := range byPE {
+	// Walk PEs in sorted order so which overlap gets reported never
+	// depends on map iteration order.
+	pes := make([]int, 0, len(byPE))
+	for pe := range byPE {
+		pes = append(pes, pe)
+	}
+	sort.Ints(pes)
+	for _, pe := range pes {
+		recs := byPE[pe]
 		for i := range recs {
 			for j := i + 1; j < len(recs); j++ {
 				a, b := recs[i], recs[j]

@@ -223,9 +223,13 @@ func (s Spec) Validate() error {
 // caches, scenario caches and golden tests can key on it. Fields are
 // serialized explicitly, field by field, for the same reason the
 // Engine's modelKey is: a reflective dump would silently destabilize
-// the key if the Spec ever gained pointer fields.
-// TestFingerprintCoversSpec pins the field counts so additions cannot
-// be forgotten here.
+// the key if the Spec ever gained pointer fields. The thermalvet
+// fpfields analyzer checks the registrations below statically: a
+// field missing from this serialization fails the lint job by name.
+//
+//thermalvet:serializes Spec
+//thermalvet:serializes GraphParams
+//thermalvet:serializes PlatformParams
 func (s Spec) Fingerprint() string {
 	n := s.Normalized()
 	h := fnv.New64a()

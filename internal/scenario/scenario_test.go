@@ -2,7 +2,6 @@ package scenario
 
 import (
 	"math"
-	"reflect"
 	"strings"
 	"testing"
 
@@ -114,21 +113,6 @@ func TestNormalizationInvariance(t *testing.T) {
 	}
 	if serialize(t, a) != serialize(t, b) {
 		t.Error("zero spec and explicit defaults generated different scenarios")
-	}
-}
-
-// Fingerprint must cover every Spec field; this pins the field counts so
-// a new field cannot be added without extending Fingerprint (mirroring
-// the Engine's TestModelKeyCoversConfig).
-func TestFingerprintCoversSpec(t *testing.T) {
-	if n := reflect.TypeOf(Spec{}).NumField(); n != 4 {
-		t.Errorf("Spec has %d fields, Fingerprint serializes 4 — update Fingerprint", n)
-	}
-	if n := reflect.TypeOf(GraphParams{}).NumField(); n != 8 {
-		t.Errorf("GraphParams has %d fields, Fingerprint serializes 8 — update Fingerprint", n)
-	}
-	if n := reflect.TypeOf(PlatformParams{}).NumField(); n != 7 {
-		t.Errorf("PlatformParams has %d fields, Fingerprint serializes 7 — update Fingerprint", n)
 	}
 }
 

@@ -321,7 +321,15 @@ func (r *Result) Validate() error {
 		}
 		byPE[rec.PE] = append(byPE[rec.PE], rec)
 	}
-	for pe, recs := range byPE {
+	// Walk PEs in sorted order so which overlap gets reported never
+	// depends on map iteration order.
+	pes := make([]int, 0, len(byPE))
+	for pe := range byPE {
+		pes = append(pes, pe)
+	}
+	sort.Ints(pes)
+	for _, pe := range pes {
+		recs := byPE[pe]
 		sort.Slice(recs, func(i, j int) bool { return recs[i].Start < recs[j].Start })
 		for i := 1; i < len(recs); i++ {
 			if recs[i].Start < recs[i-1].Finish-tol {

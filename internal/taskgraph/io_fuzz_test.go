@@ -1,0 +1,49 @@
+package taskgraph
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadGraph feeds arbitrary text to the .tg parser. Two contracts:
+// ReadGraph never panics (it must return an error for anything it
+// cannot accept — the service tier parses untrusted uploads), and any
+// graph it does accept serializes canonically: Write→ReadGraph→Write
+// is byte-stable, the fixed point the byte-identity determinism tests
+// build on.
+func FuzzReadGraph(f *testing.F) {
+	f.Add("graph g\ndeadline 10\ntask 0 a 1\ntask 1 b 2\nedge 0 1 5\n")
+	f.Add("# comment\ngraph cond\ndeadline 3.5\ntask 0 x 1\ntask 1 y 1\ntask 2 z 1\nedge 0 1 2 0.5\nedge 0 2 2 0.5\n")
+	f.Add("graph late\ntask 0 a 1\ndeadline 7\n") // directives out of order
+	f.Add("task 0 a 1\n")                         // graph directive missing entirely
+	f.Add("graph g\ndeadline NaN\ntask 0 a 1\n")
+	f.Add("edge 0 0 1e309\n")
+	f.Add("graph g\ndeadline 1\ntask 0 a 1\ntask 0 a 1\n") // duplicate task
+	f.Fuzz(func(t *testing.T, text string) {
+		g, err := ReadGraph(strings.NewReader(text))
+		if err != nil {
+			return // rejected input is fine; panicking or accepting junk is not
+		}
+		if g.Name == "" {
+			// A stream with no graph directive parses with an empty
+			// name, which Write cannot represent ("graph " is not
+			// re-parseable). Canonical form requires a name.
+			return
+		}
+		var first strings.Builder
+		if err := g.Write(&first); err != nil {
+			t.Fatalf("writing accepted graph: %v", err)
+		}
+		g2, err := ReadGraph(strings.NewReader(first.String()))
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\n%s", err, first.String())
+		}
+		var second strings.Builder
+		if err := g2.Write(&second); err != nil {
+			t.Fatalf("re-writing canonical form: %v", err)
+		}
+		if first.String() != second.String() {
+			t.Errorf("canonical form is not a fixed point:\n--- first\n%s\n--- second\n%s", first.String(), second.String())
+		}
+	})
+}

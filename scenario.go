@@ -124,6 +124,7 @@ func (c *scenarioCache) put(fp string, sc *Scenario) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.byFP[fp]; !ok && len(c.byFP) >= c.cap {
+		//thermalvet:allow mapiter(eviction victim choice affects only cache hit rates, never results: entries are keyed by fingerprint and regeneration is deterministic)
 		for k := range c.byFP {
 			delete(c.byFP, k)
 			break
