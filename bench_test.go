@@ -687,3 +687,44 @@ func BenchmarkCampaign(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkHotSpotSteadyStateLarge measures one steady-state thermal
+// inquiry on a 256-block platform — the regime the sparse backend
+// exists for. The dense path back-substitutes the full factorization
+// (O(n²) per inquiry); the sparse path combines the handful of cached
+// influence rows the powered blocks touch (O(k·n)), so the gap widens
+// with platform size. Rows are warmed outside the timer, matching the
+// scheduler's steady state where every powered block has been inquired
+// about before.
+func BenchmarkHotSpotSteadyStateLarge(b *testing.B) {
+	const blocks = 256
+	fp, err := floorplan.Grid("b", blocks, 4e-6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := make([]float64, blocks)
+	for i := 0; i < 8; i++ {
+		p[i*31] = 3 + float64(i)
+	}
+	for _, solver := range []string{hotspot.SolverDense, hotspot.SolverSparse, hotspot.SolverPCG} {
+		b.Run(solver, func(b *testing.B) {
+			cfg := hotspot.DefaultConfig()
+			cfg.Solver = solver
+			m, err := hotspot.NewModel(fp, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out := make([]float64, blocks)
+			if err := m.SteadyStateInto(out, p); err != nil { // warm caches
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := m.SteadyStateInto(out, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

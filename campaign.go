@@ -278,7 +278,7 @@ func (e *Engine) runCampaignFlow(ctx context.Context, req *Request) (*Response, 
 	subs := make([]Request, 0, len(specs)*len(policies))
 	for i := range specs {
 		for _, pol := range policies {
-			sub := Request{Flow: flow, Scenario: &specs[i], Policy: pol}
+			sub := Request{Flow: flow, Scenario: &specs[i], Policy: pol, Solver: req.Solver}
 			if spec.Simulate != nil {
 				sub.Simulate = spec.Simulate
 			}

@@ -18,6 +18,7 @@ import (
 
 	"thermalsched/internal/cosynth"
 	"thermalsched/internal/experiments"
+	"thermalsched/internal/hotspot"
 )
 
 func main() {
@@ -29,11 +30,17 @@ func main() {
 		scaling   = flag.Bool("scaling", false, "run only the scaling study (20 to 500 tasks on a generated 8-PE platform)")
 		scalePEs  = flag.Int("scalepes", 0, "scaling study PE count (0 = default 8)")
 		scaleSeed = flag.Int64("scaleseed", 1, "scaling study seed (0 is a valid seed)")
+		solver    = flag.String("solver", "", fmt.Sprintf("scaling-study thermal solver backend %v (default dense)", hotspot.SolverNames()))
 	)
 	flag.Parse()
 
 	if *scaling {
-		t, err := experiments.RunScalingTable(context.Background(), nil, *scalePEs, *scaleSeed, cosynth.PlatformConfig{})
+		hs := hotspot.DefaultConfig()
+		hs.Solver = *solver
+		if err := hs.Validate(); err != nil {
+			fatal(err)
+		}
+		t, err := experiments.RunScalingTable(context.Background(), nil, *scalePEs, *scaleSeed, cosynth.PlatformConfig{HotSpot: &hs}, nil)
 		if err != nil {
 			fatal(err)
 		}

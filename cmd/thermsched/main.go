@@ -45,6 +45,7 @@ func main() {
 		seed      = flag.Int64("seed", -1, "run seed (0 is a valid seed, honored verbatim; negative = default)")
 		count     = flag.Int("count", 0, "sweep graph count (0 = default)")
 		parallel  = flag.Int("parallelism", 0, "search parallelism for cosynthesis (0 = engine default GOMAXPROCS, 1 = serial; results are byte-identical at every value)")
+		solver    = flag.String("solver", "", "thermal solver backend: dense, sparse, pcg (default dense; all backends agree to ≤1e-6 K)")
 		asJSON    = flag.Bool("json", false, "emit the serializable Response schema as JSON")
 
 		// FlowSimulate knobs (closed-loop DTM co-simulation).
@@ -113,6 +114,7 @@ func main() {
 		// the same diagnostic the API surfaces.
 		req.Parallelism = *parallel
 	}
+	req.Solver = *solver
 	switch req.Flow {
 	case thermalsched.FlowSimulate:
 		spec := thermalsched.SimulateSpec{

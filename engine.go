@@ -88,6 +88,15 @@ func WithThermalConfig(cfg ThermalConfig) Option {
 	return func(o *engineOptions) { o.thermal = cfg }
 }
 
+// WithSolverBackend selects the steady-state thermal solver backend for
+// every flow the Engine runs: one of hotspot.SolverNames (dense, the
+// golden reference and the default; sparse; pcg). Equivalent to setting
+// ThermalConfig.Solver through WithThermalConfig, and overridable per
+// run via Request.Solver.
+func WithSolverBackend(name string) Option {
+	return func(o *engineOptions) { o.thermal.Solver = name }
+}
+
 // WithWorkers bounds RunBatch's worker pool (default: GOMAXPROCS).
 func WithWorkers(n int) Option {
 	return func(o *engineOptions) { o.workers = n }
@@ -169,6 +178,20 @@ func NewEngine(opts ...Option) (*Engine, error) {
 
 // Library returns the engine's technology library.
 func (e *Engine) Library() *Library { return e.lib }
+
+// thermalFor resolves the thermal configuration for one request: the
+// engine's calibration, with the request's Solver override applied when
+// it differs. The common cases (no override, or an override naming the
+// engine's own backend) return the engine's shared config pointer so
+// every flow keys the model cache identically.
+func (e *Engine) thermalFor(req *Request) *ThermalConfig {
+	if req.Solver == "" || req.Solver == e.thermal.Solver {
+		return &e.thermal
+	}
+	hs := e.thermal
+	hs.Solver = req.Solver
+	return &hs
+}
 
 // Benchmark returns a copy of the engine's pre-parsed paper benchmark.
 // The copy is the caller's to mutate; the engine's cached graph stays
@@ -334,7 +357,7 @@ func (e *Engine) Platform(ctx context.Context, g *Graph, opts ...RequestOption) 
 	if err != nil {
 		return nil, err
 	}
-	cfg.HotSpot = &e.thermal
+	cfg.HotSpot = e.thermalFor(&req)
 	return e.platform(ctx, g, e.lib, cfg)
 }
 
@@ -347,7 +370,7 @@ func (e *Engine) CoSynthesize(ctx context.Context, g *Graph, opts ...RequestOpti
 	if err != nil {
 		return nil, err
 	}
-	cfg.HotSpot = &e.thermal
+	cfg.HotSpot = e.thermalFor(&req)
 	return e.cosynthesize(ctx, g, e.lib, cfg)
 }
 
@@ -355,8 +378,14 @@ func (e *Engine) CoSynthesize(ctx context.Context, g *Graph, opts ...RequestOpti
 // the engine's thermal calibration and model cache applied to every
 // platform run.
 func (e *Engine) Sweep(ctx context.Context, count int, seed int64) (*SweepResult, error) {
+	return e.sweep(ctx, count, seed, &e.thermal)
+}
+
+// sweep is the request-aware body of Sweep: hs carries the thermal
+// calibration (possibly a per-request solver override from thermalFor).
+func (e *Engine) sweep(ctx context.Context, count int, seed int64, hs *ThermalConfig) (*SweepResult, error) {
 	return experiments.RunSweepWith(ctx, e.lib, count, seed, cosynth.PlatformConfig{
-		HotSpot: &e.thermal,
+		HotSpot: hs,
 		Models:  e.modelProvider(),
 	})
 }
@@ -371,7 +400,7 @@ func (e *Engine) ScalingTable(ctx context.Context, sizes []int, pes int, seed in
 	return experiments.RunScalingTable(ctx, sizes, pes, seed, cosynth.PlatformConfig{
 		HotSpot: &e.thermal,
 		Models:  e.modelProvider(),
-	})
+	}, e.ModelCacheStats)
 }
 
 // platform executes the platform flow with the engine's thermal model
@@ -414,7 +443,7 @@ func (e *Engine) runPlatformFlow(ctx context.Context, req *Request) (*Response, 
 	if err != nil {
 		return nil, err
 	}
-	cfg.HotSpot = &e.thermal
+	cfg.HotSpot = e.thermalFor(req)
 	cfg.Platform = in.platform
 	res, err := e.platform(ctx, in.graph, in.lib, cfg)
 	if err != nil {
@@ -437,7 +466,7 @@ func (e *Engine) runCoSynthFlow(ctx context.Context, req *Request) (*Response, e
 	if err != nil {
 		return nil, err
 	}
-	cfg.HotSpot = &e.thermal
+	cfg.HotSpot = e.thermalFor(req)
 	if in.scen != nil && cfg.CandidateTypes == nil {
 		// A generated scenario brings its own library; co-synthesis
 		// selects from its PE palette rather than the standard one.
@@ -472,7 +501,7 @@ func (e *Engine) runSweepFlow(ctx context.Context, req *Request) (*Response, err
 	if req.Seed != nil {
 		seed = *req.Seed
 	}
-	res, err := e.Sweep(ctx, count, seed)
+	res, err := e.sweep(ctx, count, seed, e.thermalFor(req))
 	if err != nil {
 		return nil, err
 	}
@@ -488,7 +517,7 @@ func (e *Engine) runDTMFlow(ctx context.Context, req *Request) (*Response, error
 	if err != nil {
 		return nil, err
 	}
-	cfg.HotSpot = &e.thermal
+	cfg.HotSpot = e.thermalFor(req)
 	cfg.Platform = in.platform
 	res, err := e.platform(ctx, in.graph, in.lib, cfg)
 	if err != nil {
@@ -565,7 +594,7 @@ func (e *Engine) runSimulateFlow(ctx context.Context, req *Request) (*Response, 
 	if err != nil {
 		return nil, err
 	}
-	cfg.HotSpot = &e.thermal
+	cfg.HotSpot = e.thermalFor(req)
 	cfg.Platform = in.platform
 	res, err := e.platform(ctx, in.graph, in.lib, cfg)
 	if err != nil {
@@ -711,11 +740,21 @@ func (e *Engine) SearchMemoStats() (evals, memoHits uint64) {
 //thermalvet:serializes hotspot.Config
 func modelKey(fp *floorplan.Floorplan, cfg hotspot.Config) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "si=%g,die=%g,sivh=%g,iface=%g,spk=%g,spt=%g,spvh=%g,sps=%g,ring=%g,conv=%g,sinkc=%g,amb=%g|",
+	fmt.Fprintf(&b, "si=%g,die=%g,sivh=%g,iface=%g,spk=%g,spt=%g,spvh=%g,sps=%g,ring=%g,conv=%g,sinkc=%g,amb=%g,",
 		cfg.SiliconConductivity, cfg.DieThickness, cfg.SiliconVolumetricHeat,
 		cfg.InterfaceResistivity, cfg.SpreaderConductivity, cfg.SpreaderThickness,
 		cfg.SpreaderVolumetricHeat, cfg.SpreaderToSinkResistance, cfg.SpreaderRingWidth,
 		cfg.ConvectionResistance, cfg.SinkHeatCapacity, cfg.AmbientC)
+	// The solver backend is part of the key: a cached model carries its
+	// backend-specific factorization and influence representation, so a
+	// dense and a sparse run over one floorplan must never share an
+	// entry. "" normalizes to "dense" (SolverKind) so the default and
+	// the explicit spelling do share one.
+	slv := cfg.Solver
+	if slv == "" {
+		slv = hotspot.SolverDense
+	}
+	fmt.Fprintf(&b, "slv=%s,pcgtol=%g|", slv, cfg.PCGTolerance)
 	for _, blk := range fp.Blocks() {
 		fmt.Fprintf(&b, "%s:%g,%g,%g,%g;", blk.Name, blk.Rect.X, blk.Rect.Y, blk.Rect.W, blk.Rect.H)
 	}

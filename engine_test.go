@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"thermalsched/internal/floorplan"
+	"thermalsched/internal/hotspot"
 )
 
 // Golden equivalence: the deprecated free functions and the new Engine
@@ -448,10 +449,22 @@ func TestModelKeyDistinctConfigs(t *testing.T) {
 	for i := 0; i < rv.NumField(); i++ {
 		cfg := base
 		f := reflect.ValueOf(&cfg).Elem().Field(i)
-		f.SetFloat(f.Float()*1.5 + 1)
+		switch f.Kind() {
+		case reflect.String:
+			f.SetString(f.String() + "x")
+		default:
+			f.SetFloat(f.Float()*1.5 + 1)
+		}
 		if modelKey(fp, cfg) == k0 {
 			t.Errorf("perturbing Config.%s did not change the model key", rv.Field(i).Name)
 		}
+	}
+	// "" and the explicit default spelling build identical models and
+	// must share one cache entry.
+	dense := base
+	dense.Solver = hotspot.SolverDense
+	if modelKey(fp, dense) != k0 {
+		t.Error(`Solver "" and "dense" should share a model key`)
 	}
 	fp2, err := floorplan.Row("pe", 3, 1e-6)
 	if err != nil {

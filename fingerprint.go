@@ -28,6 +28,10 @@ import (
 //   - Parallelism is excluded: results are documented byte-identical
 //     at every parallelism level, so requests differing only there
 //     coalesce onto one evaluation.
+//   - Solver serializes raw, NOT normalized: "" means "the engine's
+//     backend", which only coincides with an explicit "dense" when the
+//     engine default happens to be dense — the fingerprint cannot see
+//     the engine. Keeping them distinct is the safe (one-way) direction.
 //   - The other pointer-typed knobs (TempWeight, …, DTM, Simulate,
 //     Campaign) serialize presence plus value, except DTM and Simulate
 //     which serialize their withDefaults() normalization — the only
@@ -47,7 +51,7 @@ import (
 //thermalvet:serializes CampaignSpec
 func (r *Request) Fingerprint() string {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "req/v1|%s|%s|%s|%t|%g|", r.Flow, r.Benchmark, r.Policy, r.IncludeGantt, r.BusTimePerUnit)
+	fmt.Fprintf(h, "req/v2|%s|%s|%s|%s|%t|%g|", r.Flow, r.Benchmark, r.Policy, r.Solver, r.IncludeGantt, r.BusTimePerUnit)
 	fpFloatPtr(h, r.TempWeight)
 	fpFloatPtr(h, r.PowerWeight)
 	fpFloatPtr(h, r.EnergyWeight)

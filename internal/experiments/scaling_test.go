@@ -12,7 +12,7 @@ func TestRunScalingTable(t *testing.T) {
 	if testing.Short() {
 		sizes = []int{20, 60}
 	}
-	tab, err := RunScalingTable(context.Background(), sizes, 6, 3, cosynth.PlatformConfig{})
+	tab, err := RunScalingTable(context.Background(), sizes, 6, 3, cosynth.PlatformConfig{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,6 +49,12 @@ func TestRunScalingTable(t *testing.T) {
 		if r.SchedMillis < 0 {
 			t.Errorf("row %d: negative scheduling time %g", i, r.SchedMillis)
 		}
+		if r.Solver != "dense" {
+			t.Errorf("row %d: solver %q, want dense for a nil HotSpot config", i, r.Solver)
+		}
+		if r.CacheHits != 0 || r.CacheMisses != 0 {
+			t.Errorf("row %d: cache stats %d/%d with no stats hook", i, r.CacheHits, r.CacheMisses)
+		}
 	}
 	if feasible*2 < len(tab.Rows) {
 		t.Errorf("only %d/%d rows feasible at default tightness", feasible, len(tab.Rows))
@@ -59,7 +65,7 @@ func TestRunScalingTable(t *testing.T) {
 
 	// The generated inputs are deterministic: a second run must land on
 	// identical schedule-quality numbers (only SchedMillis may differ).
-	again, err := RunScalingTable(context.Background(), sizes, 6, 3, cosynth.PlatformConfig{})
+	again, err := RunScalingTable(context.Background(), sizes, 6, 3, cosynth.PlatformConfig{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

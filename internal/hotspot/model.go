@@ -22,19 +22,35 @@ type Model struct {
 	// regions, 2n the peripheral spreader ring, 2n+1 the heat sink.
 	// Ambient is the reference (ground).
 	total int
-	g     *linalg.Matrix   // conductance matrix (relative-to-ambient formulation)
-	chol  *linalg.Cholesky // cached factorization
-	caps  []float64        // node heat capacities (transient)
+	csr   *linalg.CSR         // conductance matrix (relative-to-ambient formulation)
+	solv  linalg.SteadySolver // factored/preconditioned backend per cfg.SolverKind
+	caps  []float64           // node heat capacities (transient)
+
+	// The dense image of csr, materialized on demand: the transient
+	// stepper and Conductance() still consume a dense matrix, and the
+	// dense solver path factors it eagerly. Sparse-backend models that
+	// never step a transient never pay the n² expansion.
+	gOnce sync.Once
+	g     *linalg.Matrix
 
 	// Influence matrix: because the RC network is linear, steady-state
 	// block temperature rise is an affine function of block power,
 	// rise = S·p with S[i][j] = (G⁻¹)[i][j] restricted to block nodes.
-	// It is computed lazily (n triangular solves, once per model) and
-	// turns every subsequent steady-state inquiry into n² multiply-adds
-	// with zero allocations — the thermal-aware ASP's hot path.
+	// The dense backend computes all of S lazily (n triangular solves,
+	// once per model) and answers every inquiry with n² multiply-adds.
 	influOnce sync.Once
 	influ     []float64 // n×n row-major; symmetric since G is
 	influErr  error
+
+	// Truncated influence representation (sparse/pcg backends): rows of
+	// S are solved and cached one at a time, on demand, so a scheduler
+	// touching k blocks holds k rows instead of the n×n matrix, and an
+	// inquiry with k powered blocks costs k·n multiply-adds instead of
+	// n² — the property that keeps per-candidate cost O(PEs) at grid
+	// resolutions the dense influence matrix can't hold.
+	truncated bool
+	rowMu     sync.RWMutex
+	rowCache  map[int][]float64
 }
 
 // NewModel builds the thermal network for fp under cfg. The floorplan
@@ -58,18 +74,23 @@ func NewModel(fp *floorplan.Floorplan, cfg Config) (*Model, error) {
 		byName: make(map[string]int, n),
 		n:      n,
 		total:  total,
-		g:      linalg.NewMatrix(total, total),
 		caps:   make([]float64, total),
 	}
 	for i, name := range m.names {
 		m.byName[name] = i
 	}
 
+	// Assembly goes through the sparse builder for every backend. The
+	// builder accumulates duplicates in insertion order, so its Dense()
+	// image is bitwise identical to the historical direct Matrix.Add
+	// assembly — the dense path stays the byte-for-byte golden
+	// reference while the sparse backends share one assembly.
+	gb := linalg.NewSparseBuilder(total)
 	addConductance := func(i, j int, g float64) {
-		m.g.Add(i, i, g)
-		m.g.Add(j, j, g)
-		m.g.Add(i, j, -g)
-		m.g.Add(j, i, -g)
+		gb.Add(i, i, g)
+		gb.Add(j, j, g)
+		gb.Add(i, j, -g)
+		gb.Add(j, i, -g)
 	}
 
 	// Lateral conductances between abutting blocks, in the die and in
@@ -156,15 +177,46 @@ func NewModel(fp *floorplan.Floorplan, cfg Config) (*Model, error) {
 
 	// Sink → ambient. Ambient is the reference node, so the convection
 	// conductance appears only on the sink's diagonal.
-	m.g.Add(sink, sink, 1/cfg.ConvectionResistance)
+	gb.Add(sink, sink, 1/cfg.ConvectionResistance)
 	m.caps[sink] = cfg.SinkHeatCapacity
 
-	chol, err := linalg.FactorCholesky(m.g)
-	if err != nil {
-		return nil, fmt.Errorf("hotspot: conductance matrix not SPD (floorplan degenerate?): %w", err)
+	m.csr = gb.Build()
+	switch cfg.SolverKind() {
+	case SolverDense:
+		chol, err := linalg.FactorCholesky(m.denseG())
+		if err != nil {
+			return nil, fmt.Errorf("hotspot: conductance matrix not SPD (floorplan degenerate?): %w", err)
+		}
+		m.solv = chol
+	case SolverSparse:
+		f, err := linalg.FactorSparseCholeskyOrdered(m.csr, linalg.MinDegreeOrdering(m.csr))
+		if err != nil {
+			return nil, fmt.Errorf("hotspot: conductance matrix not SPD (floorplan degenerate?): %w", err)
+		}
+		m.solv = f
+		m.truncated = true
+		m.rowCache = make(map[int][]float64)
+	case SolverPCG:
+		tol := cfg.PCGTolerance
+		if tol == 0 {
+			tol = DefaultPCGTolerance
+		}
+		s, err := linalg.NewPCG(m.csr, tol, 0)
+		if err != nil {
+			return nil, fmt.Errorf("hotspot: conductance matrix not SPD (floorplan degenerate?): %w", err)
+		}
+		m.solv = s
+		m.truncated = true
+		m.rowCache = make(map[int][]float64)
 	}
-	m.chol = chol
 	return m, nil
+}
+
+// denseG materializes (once) and returns the dense image of the
+// conductance matrix. Callers must treat it as read-only.
+func (m *Model) denseG() *linalg.Matrix {
+	m.gOnce.Do(func() { m.g = m.csr.Dense() })
+	return m.g
 }
 
 // Config returns the model's configuration.
@@ -289,13 +341,40 @@ func (m *Model) SteadyStateInto(dst, power []float64) error {
 			return fmt.Errorf("hotspot: invalid power %g W for block %q", w, m.names[i])
 		}
 	}
-	if err := m.ensureInfluence(); err != nil {
-		return err
-	}
 	n := m.n
 	pw := power[:n]
 	out := dst[:n]
 	ambient := m.cfg.AmbientC
+	if m.truncated {
+		// Truncated influence: by symmetry of G⁻¹, the inquiry is the
+		// powered-block-weighted sum of cached influence rows —
+		// k·n multiply-adds for k powered blocks (k ≈ PEs ≪ n on large
+		// platforms). The sum visits j in the same increasing order the
+		// dense inner product does, skipping only exact-zero terms.
+		for i := range out {
+			out[i] = 0
+		}
+		for j, w := range pw {
+			if w == 0 {
+				continue
+			}
+			row, err := m.influenceRowCached(j)
+			if err != nil {
+				return err
+			}
+			row = row[:len(out)]
+			for i := range out {
+				out[i] += row[i] * w
+			}
+		}
+		for i := range out {
+			out[i] += ambient
+		}
+		return nil
+	}
+	if err := m.ensureInfluence(); err != nil {
+		return err
+	}
 	for i := range out {
 		// Re-slicing the row to len(pw) lets the compiler elide the
 		// bounds checks in the inner product — the entire inquiry cost.
@@ -330,8 +409,8 @@ func (m *Model) SteadyStateDirect(power []float64) (Temps, error) {
 }
 
 func (m *Model) steadyFromVector(p []float64) (Temps, error) {
-	rise, err := m.chol.Solve(p)
-	if err != nil {
+	rise := make([]float64, m.total)
+	if err := m.solv.SolveInto(rise, p); err != nil {
 		return Temps{}, fmt.Errorf("hotspot: steady-state solve: %w", err)
 	}
 	vals := make([]float64, m.n)
@@ -352,7 +431,7 @@ func (m *Model) ensureInfluence() error {
 		x := make([]float64, m.total)
 		for j := 0; j < m.n; j++ {
 			e[j] = 1
-			if err := m.chol.SolveInto(x, e); err != nil {
+			if err := m.solv.SolveInto(x, e); err != nil {
 				m.influErr = fmt.Errorf("hotspot: influence matrix solve: %w", err)
 				return
 			}
@@ -369,16 +448,48 @@ func (m *Model) ensureInfluence() error {
 // InfluenceRow returns row i of the influence matrix: the steady-state
 // temperature rise of block i per watt injected into each block. The
 // matrix is symmetric (G is), so row i is also block i's column of heat
-// reach. The returned slice is shared read-only state — callers must
-// not modify it.
+// reach. Under the dense backend the whole matrix is built on first
+// use; under the truncated backends only the requested row is solved
+// and cached. The returned slice is shared read-only state — callers
+// must not modify it.
 func (m *Model) InfluenceRow(i int) ([]float64, error) {
 	if i < 0 || i >= m.n {
 		return nil, fmt.Errorf("hotspot: influence row %d out of range [0,%d)", i, m.n)
+	}
+	if m.truncated {
+		return m.influenceRowCached(i)
 	}
 	if err := m.ensureInfluence(); err != nil {
 		return nil, err
 	}
 	return m.influ[i*m.n : (i+1)*m.n], nil
+}
+
+// influenceRowCached returns (solving and caching on first request)
+// influence row j under the truncated representation. The read path is
+// an RLock plus a map probe — allocation-free once the row is warm.
+func (m *Model) influenceRowCached(j int) ([]float64, error) {
+	m.rowMu.RLock()
+	row, ok := m.rowCache[j]
+	m.rowMu.RUnlock()
+	if ok {
+		return row, nil
+	}
+	m.rowMu.Lock()
+	defer m.rowMu.Unlock()
+	if row, ok := m.rowCache[j]; ok {
+		return row, nil
+	}
+	e := make([]float64, m.total)
+	x := make([]float64, m.total)
+	e[j] = 1
+	if err := m.solv.SolveInto(x, e); err != nil {
+		return nil, fmt.Errorf("hotspot: influence row solve: %w", err)
+	}
+	row = make([]float64, m.n)
+	copy(row, x[:m.n])
+	m.rowCache[j] = row
+	return row, nil
 }
 
 // SteadyNodeRise solves the steady-state temperature rise of *every*
@@ -394,12 +505,17 @@ func (m *Model) SteadyNodeRise(blockPower []float64) ([]float64, error) {
 	p := make([]float64, m.total)
 	copy(p, blockPower)
 	rise := make([]float64, m.total)
-	if err := m.chol.SolveInto(rise, p); err != nil {
+	if err := m.solv.SolveInto(rise, p); err != nil {
 		return nil, fmt.Errorf("hotspot: steady node solve: %w", err)
 	}
 	return rise, nil
 }
 
-// Conductance exposes the raw conductance matrix (a clone) for tests and
-// diagnostics.
-func (m *Model) Conductance() *linalg.Matrix { return m.g.Clone() }
+// Conductance exposes the raw conductance matrix (a dense clone) for
+// tests and diagnostics. It is identical across solver backends — only
+// the factorization differs.
+func (m *Model) Conductance() *linalg.Matrix { return m.denseG().Clone() }
+
+// ConductanceNNZ returns the number of structural nonzeros of the
+// sparse conductance matrix, for diagnostics and sparsity assertions.
+func (m *Model) ConductanceNNZ() int { return m.csr.NNZ() }

@@ -20,7 +20,7 @@ type Transient struct {
 
 // NewTransient creates a transient simulation with time step dt seconds.
 func (m *Model) NewTransient(dt float64) (*Transient, error) {
-	st, err := linalg.NewBackwardEulerStepper(m.g, m.caps, dt)
+	st, err := linalg.NewBackwardEulerStepper(m.denseG(), m.caps, dt)
 	if err != nil {
 		return nil, fmt.Errorf("hotspot: transient init: %w", err)
 	}

@@ -157,7 +157,10 @@ type Cholesky struct {
 
 // FactorCholesky computes the Cholesky factorization of a. It returns
 // ErrNotSPD if a is not symmetric (within a loose tolerance) or a pivot
-// is non-positive.
+// is non-positive, and ErrSingular when a pivot falls below
+// cholPivotRelTol times the matrix's max-abs element — the same
+// near-singular contract as FactorLU, so a degenerate conductance
+// network fails loudly instead of amplifying rounding noise.
 func FactorCholesky(a *Matrix) (*Cholesky, error) {
 	if a.Rows() != a.Cols() {
 		return nil, fmt.Errorf("linalg: FactorCholesky needs square matrix, got %dx%d", a.Rows(), a.Cols())
@@ -167,13 +170,20 @@ func FactorCholesky(a *Matrix) (*Cholesky, error) {
 	}
 	n := a.Rows()
 	l := NewMatrix(n, n)
+	tiny := cholPivotRelTol * a.MaxAbs()
 	for j := 0; j < n; j++ {
 		d := a.At(j, j)
 		for k := 0; k < j; k++ {
 			d -= l.At(j, k) * l.At(j, k)
 		}
-		if d <= 0 {
-			return nil, ErrNotSPD
+		if d <= tiny {
+			// A pivot clearly below zero means indefinite; one within
+			// rounding noise of zero means singular to working
+			// precision (rounding can push it to either side of 0).
+			if d <= -tiny {
+				return nil, ErrNotSPD
+			}
+			return nil, ErrSingular
 		}
 		ljj := math.Sqrt(d)
 		l.Set(j, j, ljj)

@@ -332,3 +332,77 @@ func TestValidateRejectsDuplicatePENames(t *testing.T) {
 		t.Error("duplicate PE names accepted by Validate")
 	}
 }
+
+// TestSparseOracleMatchesDenseAndAllocsNothing runs the incremental
+// oracle on a sparse-backend model: the answers must track the dense
+// oracle to rounding, and — the large-platform contract — the full and
+// incremental inquiry paths must allocate nothing once the touched
+// influence rows are warm.
+func TestSparseOracleMatchesDenseAndAllocsNothing(t *testing.T) {
+	lib, err := techlib.StandardLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	arch, _, denseOracle := buildPlatform(t, lib)
+	area := lib.PEType(arch.PEs[0].Type).Area
+	fp, err := floorplan.Row("pe", 4, area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := hotspot.DefaultConfig()
+	cfg.Solver = hotspot.SolverSparse
+	model, err := hotspot.NewModel(fp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := NewModelOracle(model, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := []float64{5, 0, 3, 1}
+	got, err := oracle.AvgTemp(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := denseOracle.AvgTemp(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sparse AvgTemp = %v, dense %v", got, want)
+	}
+	if err := oracle.SetBase(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := denseOracle.SetBase(p); err != nil {
+		t.Fatal(err)
+	}
+	gd, err := oracle.AvgTempDelta(2, 4.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd, err := denseOracle.AvgTempDelta(2, 4.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gd-wd) > 1e-9 {
+		t.Fatalf("sparse AvgTempDelta = %v, dense %v", gd, wd)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := oracle.AvgTemp(p); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("sparse AvgTemp allocates %v per run", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if err := oracle.SetBase(p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := oracle.AvgTempDelta(2, 4.5); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("sparse SetBase+AvgTempDelta allocates %v per run", n)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"thermalsched/internal/cosynth"
+	"thermalsched/internal/hotspot"
 	"thermalsched/internal/sched"
 	"thermalsched/internal/taskgraph"
 )
@@ -330,6 +331,14 @@ type Request struct {
 	// explicit zero is honored as seed 0.
 	Seed *int64 `json:"seed,omitempty"`
 
+	// Solver overrides the engine's steady-state thermal solver backend
+	// for this request: one of hotspot.SolverNames (dense, the golden
+	// reference; sparse; pcg). Empty keeps the engine's setting
+	// (WithSolverBackend, default dense). All backends are deterministic
+	// and agree to ≤1e-6 K on the paper benchmarks; FlowGenerate never
+	// builds a thermal model, so Validate rejects the override there.
+	Solver string `json:"solver,omitempty"`
+
 	// SweepCount is the number of random graphs FlowSweep evaluates
 	// (default 4).
 	SweepCount int `json:"sweepCount,omitempty"`
@@ -445,6 +454,12 @@ func WithFloorplanGenerations(n int) RequestOption {
 // at every value.
 func WithParallelism(n int) RequestOption {
 	return func(r *Request) { r.Parallelism = n }
+}
+
+// WithSolver overrides the engine's thermal solver backend for this
+// request (one of hotspot.SolverNames; empty = engine default).
+func WithSolver(name string) RequestOption {
+	return func(r *Request) { r.Solver = name }
 }
 
 // WithSweepCount sets how many random graphs FlowSweep evaluates.
@@ -574,6 +589,14 @@ func (r *Request) Validate() error {
 	}
 	if r.Parallelism > 0 && r.Flow != FlowCoSynthesis {
 		return fmt.Errorf("thermalsched: parallelism on a %q request (only the search-driven cosynthesis flow consumes it)", r.Flow)
+	}
+	switch r.Solver {
+	case "", hotspot.SolverDense, hotspot.SolverSparse, hotspot.SolverPCG:
+	default:
+		return fmt.Errorf("thermalsched: unknown solver %q (want one of %v)", r.Solver, hotspot.SolverNames())
+	}
+	if r.Solver != "" && r.Flow == FlowGenerate {
+		return fmt.Errorf("thermalsched: solver override on a %q request (it never builds a thermal model)", r.Flow)
 	}
 	if r.DTM != nil && r.Flow != FlowDTM {
 		return fmt.Errorf("thermalsched: dtm parameters on a %q request", r.Flow)

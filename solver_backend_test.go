@@ -1,0 +1,90 @@
+package thermalsched
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// The solver-backend contract, end to end: a sparse-backend engine must
+// produce the same schedules as the dense golden reference on every
+// paper benchmark — byte-identical timelines and exact makespan/energy,
+// with temperatures inside the documented 1e-6 K bound. The scheduler
+// only ever compares thermal inquiries, so agreement here means the
+// sparse oracle ranks candidates identically to the dense one.
+func TestSolverBackendsPlatformParity(t *testing.T) {
+	dense := testEngine(t)
+	sparse, err := NewEngine(WithSolverBackend("sparse"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bm := range []string{"Bm1", "Bm2", "Bm3", "Bm4"} {
+		req := NewRequest(FlowPlatform, WithBenchmark(bm), WithGantt())
+		want, err := dense.Run(context.Background(), req)
+		if err != nil {
+			t.Fatalf("%s dense: %v", bm, err)
+		}
+		got, err := sparse.Run(context.Background(), req)
+		if err != nil {
+			t.Fatalf("%s sparse: %v", bm, err)
+		}
+		assertResponsesAgree(t, bm, want, got)
+
+		// A per-request override on the dense engine must land on the
+		// same result as the sparse-default engine.
+		over, err := dense.Run(context.Background(),
+			NewRequest(FlowPlatform, WithBenchmark(bm), WithGantt(), WithSolver("sparse")))
+		if err != nil {
+			t.Fatalf("%s override: %v", bm, err)
+		}
+		if over.Gantt != got.Gantt || *over.Metrics != *got.Metrics {
+			t.Errorf("%s: WithSolver override differs from a sparse-default engine", bm)
+		}
+	}
+}
+
+// Co-synthesis explores hundreds of candidate floorplans, each with its
+// own thermal model — the stress test for backend-keyed model caching
+// and for sparse/dense oracle agreement under search pressure.
+func TestSolverBackendsCoSynthesisParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("co-synthesis parity is not short")
+	}
+	dense := testEngine(t)
+	sparse, err := NewEngine(WithSolverBackend("sparse"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := NewRequest(FlowCoSynthesis, WithBenchmark("Bm1"), WithGantt())
+	want, err := dense.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sparse.Run(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Floorplan != want.Floorplan {
+		t.Errorf("co-synthesized floorplans differ:\ndense:\n%s\nsparse:\n%s", want.Floorplan, got.Floorplan)
+	}
+	assertResponsesAgree(t, "Bm1 cosynth", want, got)
+}
+
+func assertResponsesAgree(t *testing.T, label string, want, got *Response) {
+	t.Helper()
+	if got.Gantt != want.Gantt {
+		t.Errorf("%s: schedules differ between dense and sparse backends:\ndense:\n%s\nsparse:\n%s",
+			label, want.Gantt, got.Gantt)
+	}
+	w, g := want.Metrics, got.Metrics
+	if g.Makespan != w.Makespan || g.Feasible != w.Feasible || g.Cost != w.Cost {
+		t.Errorf("%s: schedule metrics differ: dense %+v, sparse %+v", label, *w, *g)
+	}
+	if math.Abs(g.MaxTemp-w.MaxTemp) > 1e-6 || math.Abs(g.AvgTemp-w.AvgTemp) > 1e-6 {
+		t.Errorf("%s: temperatures beyond 1e-6 K: dense max %v avg %v, sparse max %v avg %v",
+			label, w.MaxTemp, w.AvgTemp, g.MaxTemp, g.AvgTemp)
+	}
+	if math.Abs(g.TotalPower-w.TotalPower) > 1e-9 {
+		t.Errorf("%s: total power differs: dense %v, sparse %v", label, w.TotalPower, g.TotalPower)
+	}
+}
