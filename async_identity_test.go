@@ -43,6 +43,10 @@ func asyncFlows() map[string]thermalsched.Request {
 				},
 				Platform: thermalsched.ScenarioPlatformParams{PEs: 5, MinSpeed: 0.6, MaxSpeed: 2.0},
 			})),
+		"stream": thermalsched.NewRequest(thermalsched.FlowStream,
+			thermalsched.WithStream(thermalsched.StreamSpec{
+				Seed: 3, MinFactor: 0.8, Replicas: 2,
+			})),
 		"campaign": thermalsched.NewRequest(thermalsched.FlowCampaign,
 			thermalsched.WithCampaign(thermalsched.CampaignSpec{
 				Scenarios: 3, Seed: 9, MinTasks: 20, MaxTasks: 30,

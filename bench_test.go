@@ -728,3 +728,29 @@ func BenchmarkHotSpotSteadyStateLarge(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkStream measures one full online dispatch of the default
+// stream workload (48 jobs over a 600-unit horizon on 4 PEs): arrival
+// releases, policy placements and the per-DT thermal co-simulation
+// steps. The greedy sub-benchmark additionally pays one influence-
+// oracle inquiry per (pending job, idle PE) pair — the price of
+// thermal foresight over FIFO's head-of-line pop — and is the PR-9
+// hot path the nightly baseline gates.
+func BenchmarkStream(b *testing.B) {
+	e, err := NewEngine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, policy := range []string{StreamPolicyFIFO, StreamPolicyGreedy} {
+		b.Run(policy, func(b *testing.B) {
+			req := NewRequest(FlowStream, WithStream(StreamSpec{Seed: 1, MinFactor: 0.8}))
+			req.Policy = policy
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Run(context.Background(), req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

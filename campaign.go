@@ -9,6 +9,7 @@ import (
 	"thermalsched/internal/experiments"
 	"thermalsched/internal/scenario"
 	"thermalsched/internal/sched"
+	"thermalsched/internal/stream"
 )
 
 // MaxCampaignScenarios caps CampaignSpec.Scenarios: every scenario is
@@ -45,6 +46,13 @@ type CampaignSpec struct {
 	// platform flow, adding realized makespan/peak-temp/throttle
 	// columns to the rows.
 	Simulate *SimulateSpec `json:"simulate,omitempty"`
+	// Stream, when set, switches the campaign to online mode: every
+	// cell is a FlowStream dispatch of a generated arrival trace (the
+	// template for per-scenario workloads — Name and Seed are overridden
+	// per scenario) and Policies names online policies (fifo, random,
+	// coolest, greedy; default fifo vs greedy). Mutually exclusive with
+	// Simulate and Template.
+	Stream *StreamSpec `json:"stream,omitempty"`
 }
 
 func (c *CampaignSpec) withDefaults() CampaignSpec {
@@ -56,7 +64,11 @@ func (c *CampaignSpec) withDefaults() CampaignSpec {
 		out.Scenarios = 8
 	}
 	if len(out.Policies) == 0 {
-		out.Policies = []string{sched.MinTaskEnergy.String(), sched.ThermalAware.String()}
+		if out.Stream != nil {
+			out.Policies = []string{stream.PolicyFIFO, stream.PolicyGreedy}
+		} else {
+			out.Policies = []string{sched.MinTaskEnergy.String(), sched.ThermalAware.String()}
+		}
 	}
 	if out.MinTasks == 0 {
 		out.MinTasks = 20
@@ -79,14 +91,24 @@ func (c *CampaignSpec) Validate() error {
 	}
 	seen := make(map[string]bool, len(n.Policies))
 	for _, name := range n.Policies {
-		p, err := sched.ParsePolicy(name)
-		if err != nil {
-			return err
+		var canonical string
+		if n.Stream != nil {
+			p, err := stream.ParsePolicy(name)
+			if err != nil {
+				return err
+			}
+			canonical = p
+		} else {
+			p, err := sched.ParsePolicy(name)
+			if err != nil {
+				return err
+			}
+			canonical = p.String()
 		}
-		if seen[p.String()] {
-			return fmt.Errorf("thermalsched: campaign policy %q listed twice", p)
+		if seen[canonical] {
+			return fmt.Errorf("thermalsched: campaign policy %q listed twice", canonical)
 		}
-		seen[p.String()] = true
+		seen[canonical] = true
 	}
 	if n.MinTasks < 1 || n.MaxTasks < n.MinTasks || n.MaxTasks > scenario.MaxTasks {
 		return fmt.Errorf("thermalsched: campaign task range [%d, %d] outside [1, %d]",
@@ -104,6 +126,17 @@ func (c *CampaignSpec) Validate() error {
 			return fmt.Errorf("thermalsched: unknown campaign simulate controller %q", s.Controller)
 		}
 	}
+	if n.Stream != nil {
+		if n.Simulate != nil {
+			return fmt.Errorf("thermalsched: campaign stream mode excludes simulate; remove one")
+		}
+		if n.Template != nil {
+			return fmt.Errorf("thermalsched: campaign stream mode uses the stream spec as its template; remove template")
+		}
+		if err := n.Stream.validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -111,6 +144,15 @@ func (c *CampaignSpec) Validate() error {
 func (c CampaignSpec) policyNames() []string {
 	out := make([]string, len(c.Policies))
 	for i, name := range c.Policies {
+		if c.Stream != nil {
+			p, err := stream.ParsePolicy(name)
+			if err != nil {
+				out[i] = name // unreachable after Validate
+				continue
+			}
+			out[i] = p
+			continue
+		}
 		p, err := sched.ParsePolicy(name)
 		if err != nil {
 			out[i] = name // unreachable after Validate
@@ -150,6 +192,22 @@ func (c CampaignSpec) scenarioSpecs() []ScenarioSpec {
 	return out
 }
 
+// streamSpecs derives the stream-mode workload family the same way
+// scenarioSpecs derives scenarios: every workload copies the campaign's
+// stream spec and overrides Name and Seed from the master seed's
+// stream, so one number reproduces the whole family.
+func (c CampaignSpec) streamSpecs() []StreamSpec {
+	rng := rand.New(rand.NewSource(c.Seed))
+	out := make([]StreamSpec, c.Scenarios)
+	for i := range out {
+		s := *c.Stream
+		s.Name = fmt.Sprintf("c%03d", i)
+		s.Seed = rng.Int63()
+		out[i] = s
+	}
+	return out
+}
+
 // CampaignCell is one scenario × policy outcome. The static columns
 // come from the platform flow's metrics; the Realized* columns are
 // present in simulate mode only.
@@ -160,11 +218,14 @@ type CampaignCell struct {
 	TotalPowerW float64 `json:"totalPowerW"`
 	MaxTempC    float64 `json:"maxTempC"`
 	AvgTempC    float64 `json:"avgTempC"`
-	// Simulate-mode extras (zero otherwise).
+	// Simulate- and stream-mode extras (zero otherwise).
 	RealizedMakespan float64 `json:"realizedMakespan,omitempty"`
 	PeakTempC        float64 `json:"peakTempC,omitempty"`
 	ThrottleTime     float64 `json:"throttleTime,omitempty"`
 	DeadlineMissRate float64 `json:"deadlineMissRate,omitempty"`
+	// Price is the stream-mode price-of-onlineness ratio (replica mean
+	// of realized makespan over the clairvoyant offline bound, ≥ 1).
+	Price float64 `json:"price,omitempty"`
 	// Error is set when this cell's run failed; the cell is then
 	// excluded from every aggregate.
 	Error string `json:"error,omitempty"`
@@ -221,6 +282,12 @@ type CampaignDuel struct {
 	// (simulate mode only).
 	ThrottleWins int `json:"throttleWins,omitempty"`
 	ThrottleTies int `json:"throttleTies,omitempty"`
+	// MissRateWins counts scenarios where the reference missed strictly
+	// fewer deadlines; MeanMissRed is the opponent-minus-reference mean
+	// miss-rate delta (simulate and stream modes only).
+	MissRateWins int     `json:"missRateWins,omitempty"`
+	MissRateTies int     `json:"missRateTies,omitempty"`
+	MeanMissRed  float64 `json:"meanMissRed,omitempty"`
 }
 
 // CampaignReport is the FlowCampaign payload: per-scenario rows plus
@@ -233,6 +300,10 @@ type CampaignReport struct {
 	// when compared, otherwise the first policy.
 	Reference string `json:"reference"`
 	Simulated bool   `json:"simulated"`
+	// Streamed marks an online (stream-mode) campaign: cells are online
+	// dispatches, duels compare miss rates and thermal envelopes, and
+	// feasibility (zero misses) is a metric, not a comparison gate.
+	Streamed bool `json:"streamed,omitempty"`
 	// Failed counts cells whose runs errored (excluded from
 	// aggregates).
 	Failed    int                   `json:"failed"`
@@ -247,6 +318,9 @@ type CampaignReport struct {
 func (e *Engine) runCampaignFlow(ctx context.Context, req *Request) (*Response, error) {
 	spec := req.Campaign.withDefaults()
 	policies := spec.policyNames()
+	if spec.Stream != nil {
+		return e.runStreamCampaign(ctx, req, spec, policies)
+	}
 	specs := spec.scenarioSpecs()
 
 	// Generate every scenario up front (warming the fingerprint cache
@@ -306,11 +380,69 @@ func (e *Engine) runCampaignFlow(ctx context.Context, req *Request) (*Response, 
 	return &Response{Flow: FlowCampaign, Campaign: report}, nil
 }
 
+// runStreamCampaign is the online (stream-mode) campaign body: the same
+// grid fan-out as the offline path, with workloads in place of
+// scenarios and FlowStream dispatches in place of platform runs.
+func (e *Engine) runStreamCampaign(ctx context.Context, req *Request, spec CampaignSpec, policies []string) (*Response, error) {
+	specs := spec.streamSpecs()
+	rows := make([]CampaignRow, len(specs))
+	for i := range specs {
+		wl, err := e.streamFor(specs[i])
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = CampaignRow{
+			Scenario:    wl.Spec.Name,
+			Fingerprint: wl.Fingerprint,
+			Seed:        wl.Spec.Seed,
+			Shape:       "stream",
+			Tasks:       len(wl.Jobs),
+			PEs:         len(wl.PETypeNames),
+			Deadline:    wl.Spec.Arrivals.Horizon,
+		}
+	}
+	subs := make([]Request, 0, len(specs)*len(policies))
+	for i := range specs {
+		for _, pol := range policies {
+			subs = append(subs, Request{Flow: FlowStream, Stream: &specs[i], Policy: pol, Solver: req.Solver})
+		}
+	}
+	resps, err := e.RunBatch(ctx, subs)
+	if err != nil {
+		return nil, err
+	}
+	report := &CampaignReport{
+		Scenarios: len(specs),
+		Policies:  policies,
+		Reference: campaignStreamReference(policies),
+		Streamed:  true,
+	}
+	for i := range specs {
+		for j, pol := range policies {
+			rows[i].Cells = append(rows[i].Cells, campaignCell(pol, resps[i*len(policies)+j]))
+		}
+	}
+	report.Rows = rows
+	aggregateCampaign(report)
+	return &Response{Flow: FlowCampaign, Campaign: report}, nil
+}
+
 // campaignReference picks the duel reference: thermal when present,
 // otherwise the first policy.
 func campaignReference(policies []string) string {
 	for _, p := range policies {
 		if p == sched.ThermalAware.String() {
+			return p
+		}
+	}
+	return policies[0]
+}
+
+// campaignStreamReference picks the stream-mode duel reference: the
+// thermal-greedy online policy when present, otherwise the first.
+func campaignStreamReference(policies []string) string {
+	for _, p := range policies {
+		if p == stream.PolicyGreedy {
 			return p
 		}
 	}
@@ -340,6 +472,18 @@ func campaignCell(policy string, resp *Response) CampaignCell {
 		cell.PeakTempC = s.PeakTempC.Mean
 		cell.ThrottleTime = s.ThrottleTime.Mean
 		cell.DeadlineMissRate = s.DeadlineMissRate
+	}
+	if s := resp.Stream; s != nil {
+		// Online cells: feasibility means zero misses across replicas —
+		// a metric for the stats, never a duel gate.
+		cell.Feasible = s.MissRate.Mean == 0
+		cell.Makespan = s.Makespan.Mean
+		cell.MaxTempC = s.PeakTempC.Mean
+		cell.AvgTempC = s.AvgTempC.Mean
+		cell.RealizedMakespan = s.Makespan.Mean
+		cell.PeakTempC = s.PeakTempC.Mean
+		cell.DeadlineMissRate = s.MissRate.Mean
+		cell.Price = s.Price.Mean
 	}
 	return cell
 }
@@ -405,7 +549,10 @@ func aggregateCampaign(r *CampaignReport) {
 			if ref == nil || oc == nil || ref.Error != "" || oc.Error != "" {
 				continue
 			}
-			if !ref.Feasible || !oc.Feasible {
+			// Offline cells compare only where both schedules met the
+			// deadline; online cells always compare — the miss rate IS
+			// one of the duel metrics there, not a validity gate.
+			if !r.Streamed && (!ref.Feasible || !oc.Feasible) {
 				continue
 			}
 			duel.Compared++
@@ -421,12 +568,18 @@ func aggregateCampaign(r *CampaignReport) {
 			if r.Simulated {
 				tally(oc.ThrottleTime-ref.ThrottleTime, &duel.ThrottleWins, &duel.ThrottleTies)
 			}
+			if r.Simulated || r.Streamed {
+				dMiss := oc.DeadlineMissRate - ref.DeadlineMissRate
+				duel.MeanMissRed += dMiss
+				tally(dMiss, &duel.MissRateWins, &duel.MissRateTies)
+			}
 		}
 		if duel.Compared > 0 {
 			n := float64(duel.Compared)
 			duel.MeanMaxRedC /= n
 			duel.MeanAvgRedC /= n
 			duel.MeanPowerRed /= n
+			duel.MeanMissRed /= n
 		}
 		r.Duels = append(r.Duels, duel)
 	}
@@ -440,12 +593,23 @@ func (r *CampaignReport) String() string {
 	if r.Simulated {
 		mode = "closed-loop co-simulations"
 	}
+	if r.Streamed {
+		mode = "online stream dispatches"
+	}
 	fmt.Fprintf(&b, "Campaign: %d scenarios × %d policies (%s)\n",
 		r.Scenarios, len(r.Policies), mode)
 	if r.Failed > 0 {
 		fmt.Fprintf(&b, "  %d cell(s) failed and are excluded from aggregates\n", r.Failed)
 	}
 	for _, st := range r.PerPolicy {
+		if r.Streamed {
+			// Online cells have no static power column; feasible here
+			// means a miss-free dispatch, and makespan is the realized
+			// one.
+			fmt.Fprintf(&b, "  %-11s miss-free %d/%d  peak temp mean %.2f °C (p50 %.2f, p90 %.2f)  makespan mean %.1f\n",
+				st.Policy, st.Feasible, st.Runs, st.MaxTempC.Mean, st.MaxTempC.P50, st.MaxTempC.P90, st.Makespan.Mean)
+			continue
+		}
 		fmt.Fprintf(&b, "  %-11s feasible %d/%d  max temp mean %.2f °C (p50 %.2f, p90 %.2f)  power mean %.2f W\n",
 			st.Policy, st.Feasible, st.Runs, st.MaxTempC.Mean, st.MaxTempC.P50, st.MaxTempC.P90, st.PowerW.Mean)
 	}
@@ -456,6 +620,10 @@ func (r *CampaignReport) String() string {
 			d.AvgTempWins, d.AvgTempTies, d.MeanAvgRedC)
 		if r.Simulated {
 			fmt.Fprintf(&b, "    throttles less on %d/%d (%d ties)\n", d.ThrottleWins, d.Compared, d.ThrottleTies)
+		}
+		if r.Simulated || r.Streamed {
+			fmt.Fprintf(&b, "    misses fewer deadlines on %d/%d (%d ties, mean red %.3f)\n",
+				d.MissRateWins, d.Compared, d.MissRateTies, d.MeanMissRed)
 		}
 	}
 	return b.String()

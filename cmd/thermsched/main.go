@@ -1,9 +1,9 @@
 // Command thermsched runs one Engine flow on a task graph and reports
 // the schedule, power and steady-state temperatures. The default flow
 // maps the graph onto the paper's 4-PE platform (Fig. 1b); -flow
-// selects co-synthesis, the randomized sweep, the open-loop DTM study,
-// the closed-loop runtime co-simulation, synthetic-scenario generation,
-// or a multi-scenario policy campaign.
+// selects any registered Engine flow — the value set, the per-flow help
+// text and the validation rules all come from the same flow registry
+// the library and the thermschedd service read.
 //
 // Usage:
 //
@@ -15,11 +15,16 @@
 //	thermsched -flow generate -tasks 80 -pes 8 -seed 7 -json
 //	thermsched -flow platform -tasks 80 -pes 8 -seed 7
 //	thermsched -flow campaign -scenarios 50 -mintasks 20 -maxtasks 200 -seed 1
+//	thermsched -flow stream -seed 3 -policy greedy -replicas 4 -json
+//	thermsched -flow campaign -stream -scenarios 8 -seed 1
 //
 // Graph-consuming flows accept -tasks/-pes/… instead of a benchmark or
 // graph file: the run then schedules a generated scenario on its own
-// generated platform. With -json the output is the same serializable
-// Response schema that cmd/thermschedd serves over HTTP.
+// generated platform. The stream flow generates an online workload
+// (periodic sources plus Poisson/bursty aperiodic arrivals) and
+// dispatches it with -policy fifo|random|coolest|greedy. With -json the
+// output is the same serializable Response schema that cmd/thermschedd
+// serves over HTTP.
 package main
 
 import (
@@ -36,10 +41,10 @@ import (
 
 func main() {
 	var (
-		flow      = flag.String("flow", "platform", "flow: platform, cosynthesis, sweep, dtm, simulate, generate, campaign")
+		flow      = flag.String("flow", "platform", "flow: "+thermalsched.FlowNames())
 		benchmark = flag.String("benchmark", "", "paper benchmark (Bm1..Bm4)")
 		graphFile = flag.String("graph", "", "task graph file (.tg)")
-		policyStr = flag.String("policy", "thermal", "ASP policy: baseline, h1, h2, h3, thermal")
+		policyStr = flag.String("policy", "thermal", "ASP policy (baseline, h1, h2, h3, thermal) or, for -flow stream, an online policy (fifo, random, coolest, greedy; default greedy)")
 		gantt     = flag.Bool("gantt", false, "print the per-PE timeline")
 		tempW     = flag.Float64("tempweight", 0, "override the thermal DC weight (0 = default)")
 		seed      = flag.Int64("seed", -1, "run seed (0 is a valid seed, honored verbatim; negative = default)")
@@ -71,10 +76,33 @@ func main() {
 		scenarios = flag.Int("scenarios", 0, "campaign scenario count (0 = default 8)")
 		minTasks  = flag.Int("mintasks", 0, "campaign minimum tasks per scenario (0 = default 20)")
 		maxTasks  = flag.Int("maxtasks", 0, "campaign maximum tasks per scenario (0 = default 60)")
-		policies  = flag.String("policies", "", "campaign comma-separated policy list (default h3,thermal)")
+		policies  = flag.String("policies", "", "campaign comma-separated policy list (default h3,thermal; stream mode fifo,greedy)")
 		coSim     = flag.Bool("cosim", false, "campaign: run every cell through the closed-loop co-simulator")
+
+		// FlowStream knobs (-flow stream, or -flow campaign -stream).
+		// The generated platform reuses -pes/-minspeed/-maxspeed/-layout,
+		// the dispatch reuses -replicas/-minfactor.
+		streamMode = flag.Bool("stream", false, "campaign: online stream mode (cells are stream dispatches, policies are online)")
+		horizon    = flag.Float64("horizon", 0, "stream arrival horizon in schedule time units (0 = default 600)")
+		sources    = flag.Int("sources", 0, "stream periodic source count (0 = default 3)")
+		arrRate    = flag.Float64("arrivalrate", 0, "stream aperiodic Poisson arrival rate per time unit (0 = default 0.05)")
+		burst      = flag.Float64("burst", 0, "stream mean aperiodic burst size (0 = default 1: no bursts)")
+		laxity     = flag.Float64("laxity", 0, "stream aperiodic deadline laxity in mean-WCET multiples (0 = default 4)")
+		simSeed    = flag.Int64("simseed", 0, "stream replica-0 dispatch seed (replica i uses simseed+i; verbatim)")
 	)
+	flag.Usage = func() {
+		out := flag.CommandLine.Output()
+		fmt.Fprintf(out, "Usage of %s:\n", os.Args[0])
+		flag.PrintDefaults()
+		fmt.Fprintf(out, "\nflows:\n%s", thermalsched.FlowUsage())
+	}
 	flag.Parse()
+	policySet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "policy" {
+			policySet = true
+		}
+	})
 
 	scenarioSpec := func() *thermalsched.ScenarioSpec {
 		spec := &thermalsched.ScenarioSpec{
@@ -97,9 +125,38 @@ func main() {
 		}
 		return spec
 	}
+	streamSpec := func() *thermalsched.StreamSpec {
+		spec := &thermalsched.StreamSpec{
+			Arrivals: thermalsched.StreamArrivalParams{
+				Horizon:   *horizon,
+				Sources:   *sources,
+				Rate:      *arrRate,
+				BurstMean: *burst,
+				Laxity:    *laxity,
+			},
+			Platform: thermalsched.ScenarioPlatformParams{
+				PEs:      *pes,
+				MinSpeed: *minSpeed,
+				MaxSpeed: *maxSpeed,
+				Layout:   *layout,
+			},
+			MinFactor: *minFactor,
+			SimSeed:   *simSeed,
+			Replicas:  *replicas,
+		}
+		if *seed >= 0 {
+			spec.Seed = *seed
+		}
+		return spec
+	}
 
 	req := thermalsched.NewRequest(thermalsched.FlowKind(*flow))
 	req.Policy = *policyStr
+	if req.Flow == thermalsched.FlowStream && !policySet {
+		// The offline default ("thermal") must not leak into the online
+		// policy family; an empty policy means greedy there.
+		req.Policy = ""
+	}
 	if *gantt {
 		req.IncludeGantt = true
 	}
@@ -155,20 +212,29 @@ func main() {
 			}
 			camp.Simulate = &sim
 		}
-		if *tasks > 0 || *pes > 0 || *shape != "" || *layout != "" {
+		if *streamMode {
+			st := streamSpec()
+			st.Seed = 0 // per-workload seeds come from the campaign master seed
+			camp.Stream = st
+		} else if *tasks > 0 || *pes > 0 || *shape != "" || *layout != "" {
 			tpl := scenarioSpec()
 			tpl.Seed = 0 // per-scenario seeds come from the campaign master seed
 			camp.Template = tpl
 		}
 		req.Campaign = &camp
+	case thermalsched.FlowStream:
+		req.Stream = streamSpec()
 	default:
 		if *seed >= 0 {
 			req.Seed = seed
 		}
 	}
 	switch req.Flow {
-	case thermalsched.FlowSweep, thermalsched.FlowCampaign:
-		// These flows generate their own inputs.
+	case thermalsched.FlowSweep, thermalsched.FlowCampaign, thermalsched.FlowStream:
+		// These flows generate their own inputs; the benchmark/graph
+		// knobs still flow through below so Request.Validate rejects
+		// them with its canonical extraneous-input message instead of
+		// the CLI silently dropping them.
 	case thermalsched.FlowGenerate:
 		req.Seed = nil
 		req.Scenario = scenarioSpec()
@@ -176,18 +242,19 @@ func main() {
 		if *tasks > 0 {
 			req.Seed = nil
 			req.Scenario = scenarioSpec()
-			break
-		}
-		g, err := loadGraph(*benchmark, *graphFile)
-		if err != nil {
-			fatal(err)
-		}
-		if g != nil {
-			req.Graph = thermalsched.GraphSpecOf(g)
-		} else {
-			req.Benchmark = *benchmark
 		}
 	}
+	// Pass both input knobs through for every flow so Request.Validate
+	// reports the missing-input, both-set and extraneous-input cases
+	// with the same canonical messages the service's 400 bodies carry.
+	g, err := loadGraph(*graphFile)
+	if err != nil {
+		fatal(err)
+	}
+	if g != nil {
+		req.Graph = thermalsched.GraphSpecOf(g)
+	}
+	req.Benchmark = *benchmark
 
 	engine, err := thermalsched.NewEngine()
 	if err != nil {
@@ -210,24 +277,19 @@ func main() {
 	printHuman(resp)
 }
 
-// loadGraph returns a parsed graph for -graph, nil for -benchmark (the
-// engine resolves benchmark names itself), or an error.
-func loadGraph(benchmark, file string) (*thermalsched.Graph, error) {
-	switch {
-	case benchmark != "" && file != "":
-		return nil, fmt.Errorf("use either -benchmark or -graph, not both")
-	case file != "":
-		f, err := os.Open(file)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return taskgraph.ReadGraph(f)
-	case benchmark != "":
+// loadGraph parses the -graph file when one was given; input-arity
+// errors (no input, both -benchmark and -graph) are left to
+// Request.Validate so the CLI and the service share one message.
+func loadGraph(file string) (*thermalsched.Graph, error) {
+	if file == "" {
 		return nil, nil
-	default:
-		return nil, fmt.Errorf("need -benchmark or -graph")
 	}
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return taskgraph.ReadGraph(f)
 }
 
 func printHuman(resp *thermalsched.Response) {
@@ -273,6 +335,15 @@ func printHuman(resp *thermalsched.Response) {
 		fmt.Printf("  peak temp °C  %s\n", statsLine(s.PeakTempC, "%.2f"))
 		fmt.Printf("  throttle time %s\n", statsLine(s.ThrottleTime, "%.1f"))
 		fmt.Printf("  deadline miss %.0f%%\n", 100*s.DeadlineMissRate)
+	}
+	if s := resp.Stream; s != nil {
+		fmt.Printf("stream     %s policy over %d replica(s): %d jobs (%d periodic, %d aperiodic) on %d PEs, horizon %g\n",
+			s.Policy, s.Replicas, s.Jobs, s.PeriodicJobs, s.AperiodicJobs, s.PEs, s.Horizon)
+		fmt.Printf("  makespan      %s\n", statsLine(s.Makespan, "%.1f"))
+		fmt.Printf("  peak temp °C  %s\n", statsLine(s.PeakTempC, "%.2f"))
+		fmt.Printf("  miss rate     %s\n", statsLine(s.MissRate, "%.3f"))
+		fmt.Printf("  mean response %s\n", statsLine(s.MeanResponse, "%.1f"))
+		fmt.Printf("  price         %s (clairvoyant bound mean %.1f)\n", statsLine(s.Price, "%.3f"), s.OfflineBound.Mean)
 	}
 	if sc := resp.Scenario; sc != nil {
 		fmt.Printf("scenario   %s (fingerprint %s)\n", sc.Name, sc.Fingerprint)

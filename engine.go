@@ -40,8 +40,10 @@ type Engine struct {
 	// thermal flows over one floorplan pay for both exactly once.
 	models *search.LRU[*hotspot.Model]
 	// scenarios memoizes generated synthetic scenarios by fingerprint,
-	// so a campaign's policies share one generation per scenario.
-	scenarios *scenarioCache
+	// so a campaign's policies share one generation per scenario;
+	// streams does the same for generated online workloads.
+	scenarios *fpCache[*Scenario]
+	streams   *fpCache[*StreamWorkload]
 	benches   map[string]*Graph
 	ordered   []string // benchmark names in paper order
 	// simTokens is the engine-wide parallelism pool for simulate-flow
@@ -160,7 +162,8 @@ func NewEngine(opts ...Option) (*Engine, error) {
 		thermal:   o.thermal,
 		workers:   o.workers,
 		models:    search.NewLRU[*hotspot.Model](o.cacheSize),
-		scenarios: newScenarioCache(DefaultScenarioCacheSize),
+		scenarios: newFPCache[*Scenario](DefaultScenarioCacheSize),
+		streams:   newFPCache[*StreamWorkload](DefaultScenarioCacheSize),
 		benches:   make(map[string]*Graph),
 		simTokens: make(chan struct{}, o.workers),
 		search:    search.NewPool(o.searchPar),
@@ -267,28 +270,14 @@ func (e *Engine) Run(ctx context.Context, req Request) (*Response, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	var (
-		resp *Response
-		err  error
-	)
-	switch req.Flow {
-	case FlowPlatform:
-		resp, err = e.runPlatformFlow(ctx, &req)
-	case FlowCoSynthesis:
-		resp, err = e.runCoSynthFlow(ctx, &req)
-	case FlowSweep:
-		resp, err = e.runSweepFlow(ctx, &req)
-	case FlowDTM:
-		resp, err = e.runDTMFlow(ctx, &req)
-	case FlowSimulate:
-		resp, err = e.runSimulateFlow(ctx, &req)
-	case FlowGenerate:
-		resp, err = e.runGenerateFlow(&req)
-	case FlowCampaign:
-		resp, err = e.runCampaignFlow(ctx, &req)
-	default: // unreachable after Validate
-		err = fmt.Errorf("thermalsched: unknown flow %q", req.Flow)
+	// Dispatch through the flow registry — the same table Validate,
+	// FlowKinds() and the CLI help read, so a flow exists on every
+	// surface or none.
+	fs, ok := flowFor(req.Flow)
+	if !ok { // unreachable after Validate
+		return nil, fmt.Errorf("thermalsched: unknown flow %q", req.Flow)
 	}
+	resp, err := fs.run(e, ctx, &req)
 	if err != nil {
 		return nil, err
 	}

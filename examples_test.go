@@ -26,6 +26,7 @@ func TestExamplesRun(t *testing.T) {
 		{"./examples/thermal_exploration", "leakage feedback"},
 		{"./examples/runtime_dtm", "Closed-loop DTM comparison"},
 		{"./examples/campaign", "fingerprint matches the campaign row"},
+		{"./examples/stream", "price of onlineness"},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -51,7 +51,7 @@ import (
 //thermalvet:serializes CampaignSpec
 func (r *Request) Fingerprint() string {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "req/v2|%s|%s|%s|%s|%t|%g|", r.Flow, r.Benchmark, r.Policy, r.Solver, r.IncludeGantt, r.BusTimePerUnit)
+	fmt.Fprintf(h, "req/v3|%s|%s|%s|%s|%t|%g|", r.Flow, r.Benchmark, r.Policy, r.Solver, r.IncludeGantt, r.BusTimePerUnit)
 	fpFloatPtr(h, r.TempWeight)
 	fpFloatPtr(h, r.PowerWeight)
 	fpFloatPtr(h, r.EnergyWeight)
@@ -86,6 +86,13 @@ func (r *Request) Fingerprint() string {
 		// Engine's scenario cache keys on; reuse it verbatim.
 		fmt.Fprintf(h, "sc+%s|", r.Scenario.Fingerprint())
 	}
+	if r.Stream == nil {
+		fmt.Fprint(h, "st-|")
+	} else {
+		// Stream specs define their own canonical fingerprint (workload
+		// half keyed like the stream cache, dispatch half normalized).
+		fmt.Fprintf(h, "st+%s|", r.Stream.fingerprint())
+	}
 	d := r.DTM.withDefaults()
 	fmt.Fprintf(h, "dtm:%s|%g|%g|%g|%g|%g|%g|%g|%g|%g|%d|%g|%d|",
 		d.Controller, d.TriggerC, d.Hysteresis, d.Throttle, d.SetpointC, d.Kp, d.Ki,
@@ -114,6 +121,13 @@ func (r *Request) Fingerprint() string {
 		fmt.Fprintf(h, "csim+%s|%g|%g|%g|%g|%g|%g|%g|%g|%g|%g|%d|%t|%t|%d|",
 			cs.Controller, cs.TriggerC, cs.Hysteresis, cs.Throttle, cs.SetpointC, cs.Kp, cs.Ki,
 			cs.MinScale, cs.DT, cs.TimeScale, cs.MinFactor, cs.Seed, cs.Conditional, cs.WarmStart, cs.Replicas)
+	}
+	// Presence is semantic here too: nil means "offline scenario
+	// campaign", a set spec means "online stream campaign".
+	if c.Stream == nil {
+		fmt.Fprint(h, "cst-|")
+	} else {
+		fmt.Fprintf(h, "cst+%s|", c.Stream.fingerprint())
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
 }

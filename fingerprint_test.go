@@ -131,8 +131,8 @@ func TestRequestFingerprintNormalization(t *testing.T) {
 // This keeps one slim runtime pin on the top-level Request as
 // belt-and-braces for builds that skip vet.
 func TestRequestFingerprintCoversFields(t *testing.T) {
-	if n := reflect.TypeOf(Request{}).NumField(); n != 21 {
-		t.Errorf("Request now has %d fields (pinned 21); extend Request.Fingerprint's explicit serialization (fpfields enforces the rest)", n)
+	if n := reflect.TypeOf(Request{}).NumField(); n != 22 {
+		t.Errorf("Request now has %d fields (pinned 22); extend Request.Fingerprint's explicit serialization (fpfields enforces the rest)", n)
 	}
 }
 

@@ -59,6 +59,14 @@ func BuildPlatform(lib *techlib.Library, busTimePerUnit float64, hsCfg hotspot.C
 	return buildPlatform(lib, busTimePerUnit, hsCfg, nil, nil)
 }
 
+// BuildPlatformDesc is BuildPlatform for a custom platform description
+// (generated scenario/stream platforms) with an optional shared model
+// provider, so callers outside this package — the Engine's stream flow —
+// reuse the same substrate construction the offline flows go through.
+func BuildPlatformDesc(lib *techlib.Library, busTimePerUnit float64, hsCfg hotspot.Config, models ModelProvider, desc *PlatformDesc) (sched.Architecture, *floorplan.Floorplan, *hotspot.Model, *sched.ModelOracle, error) {
+	return buildPlatform(lib, busTimePerUnit, hsCfg, models, desc)
+}
+
 func buildPlatform(lib *techlib.Library, busTimePerUnit float64, hsCfg hotspot.Config, models ModelProvider, desc *PlatformDesc) (sched.Architecture, *floorplan.Floorplan, *hotspot.Model, *sched.ModelOracle, error) {
 	typeNames := techlib.PlatformPETypeNames()
 	if desc != nil {

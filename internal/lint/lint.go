@@ -64,6 +64,7 @@ var corePackages = map[string]bool{
 	"taskgraph":   true,
 	"experiments": true,
 	"search":      true,
+	"stream":      true,
 }
 
 // modulePath is the import-path prefix of this repository.

@@ -13,9 +13,8 @@ import (
 // seeded jitter. Cost grows as speed² and die area linearly with speed,
 // so faster cores are more expensive and have higher power density —
 // the trade-off space the thermal-aware scheduler navigates.
-func generatePlatform(spec Spec) (*techlib.Library, []string, error) {
-	p := spec.Platform
-	rng := rngFor(spec.Seed ^ platformSeedSalt)
+func generatePlatform(seed int64, taskTypes int, p PlatformParams) (*techlib.Library, []string, error) {
+	rng := rngFor(seed ^ platformSeedSalt)
 	specs := make([]techlib.PESpec, p.PEs)
 	names := make([]string, p.PEs)
 	for i := range specs {
@@ -46,11 +45,11 @@ func generatePlatform(spec Spec) (*techlib.Library, []string, error) {
 		}
 	}
 	lib, err := techlib.Generate(techlib.GenParams{
-		NumTaskTypes: spec.Graph.Types,
+		NumTaskTypes: taskTypes,
 		MeanWork:     p.MeanWork,
 		MeanPower:    p.MeanPower,
 		Noise:        p.Noise,
-		Seed:         spec.Seed ^ platformSeedSalt,
+		Seed:         seed ^ platformSeedSalt,
 	}, specs)
 	if err != nil {
 		return nil, nil, fmt.Errorf("scenario: platform library: %w", err)

@@ -277,7 +277,7 @@ func Generate(spec Spec) (*Scenario, error) {
 		return nil, err
 	}
 	n := spec.Normalized()
-	lib, typeNames, err := generatePlatform(n)
+	lib, typeNames, err := generatePlatform(n.Seed, n.Graph.Types, n.Platform)
 	if err != nil {
 		return nil, err
 	}

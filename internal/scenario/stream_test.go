@@ -1,0 +1,165 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// The generator contract: the same spec always yields the identical
+// workload — trace, fingerprint, library and platform included.
+func TestGenerateStreamDeterministic(t *testing.T) {
+	spec := StreamSpec{Seed: 11, Arrivals: ArrivalParams{Rate: 0.07, BurstMean: 2}}
+	a, err := GenerateStream(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateStream(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatal("fingerprints differ across generations")
+	}
+	if len(a.Jobs) != len(b.Jobs) {
+		t.Fatalf("job counts differ: %d vs %d", len(a.Jobs), len(b.Jobs))
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatalf("job %d differs across generations", i)
+		}
+	}
+	if len(a.PETypeNames) != len(b.PETypeNames) {
+		t.Fatal("platforms differ across generations")
+	}
+	for i := range a.PETypeNames {
+		if a.PETypeNames[i] != b.PETypeNames[i] {
+			t.Fatalf("PE %d type differs across generations", i)
+		}
+	}
+}
+
+// Structural invariants the dispatcher relies on: arrivals sorted,
+// IDs dense in arrival order, deadlines never before arrivals, class
+// counts consistent, and every job runnable somewhere in the library.
+func TestGenerateStreamTraceInvariants(t *testing.T) {
+	wl, err := GenerateStream(StreamSpec{Seed: 4, Arrivals: ArrivalParams{BurstMean: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Jobs) == 0 {
+		t.Fatal("empty trace")
+	}
+	if wl.Periodic+wl.Aperiodic != len(wl.Jobs) {
+		t.Errorf("class counts %d+%d do not sum to %d jobs", wl.Periodic, wl.Aperiodic, len(wl.Jobs))
+	}
+	if wl.Periodic == 0 || wl.Aperiodic == 0 {
+		t.Errorf("degenerate mix: %d periodic, %d aperiodic", wl.Periodic, wl.Aperiodic)
+	}
+	horizon := wl.Spec.Arrivals.Horizon
+	for i, j := range wl.Jobs {
+		if j.ID != i {
+			t.Fatalf("job at index %d carries ID %d", i, j.ID)
+		}
+		if i > 0 && j.Arrival < wl.Jobs[i-1].Arrival {
+			t.Fatalf("job %d arrives before its predecessor", i)
+		}
+		if j.Arrival < 0 || j.Arrival >= horizon {
+			t.Errorf("job %d arrival %g outside [0, %g)", i, j.Arrival, horizon)
+		}
+		if j.Deadline < j.Arrival {
+			t.Errorf("job %d deadline %g before arrival %g", i, j.Deadline, j.Arrival)
+		}
+		if j.Type < 0 || j.Type >= wl.Spec.Arrivals.Types {
+			t.Errorf("job %d type %d outside the %d-type universe", i, j.Type, wl.Spec.Arrivals.Types)
+		}
+		if _, err := wl.Lib.MeanWCET(j.Type); err != nil {
+			t.Errorf("job %d type %d not covered by the library: %v", i, j.Type, err)
+		}
+	}
+	if len(wl.PETypeNames) != wl.Spec.Platform.PEs {
+		t.Errorf("%d PE type names for a %d-PE platform", len(wl.PETypeNames), wl.Spec.Platform.PEs)
+	}
+}
+
+// Seeds are verbatim: zero is an ordinary seed, distinct from one.
+func TestGenerateStreamSeedZeroHonored(t *testing.T) {
+	zero, err := GenerateStream(StreamSpec{Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := GenerateStream(StreamSpec{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.Fingerprint == one.Fingerprint {
+		t.Error("seeds 0 and 1 share a fingerprint")
+	}
+	same := len(zero.Jobs) == len(one.Jobs)
+	if same {
+		for i := range zero.Jobs {
+			if zero.Jobs[i] != one.Jobs[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("seeds 0 and 1 generated identical traces; zero was rewritten")
+	}
+}
+
+// Validate rejects each malformed parameter with a message naming it.
+func TestStreamSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec StreamSpec
+		want string
+	}{
+		{"horizon", StreamSpec{Arrivals: ArrivalParams{Horizon: -5}}, "horizon"},
+		{"sources", StreamSpec{Arrivals: ArrivalParams{Sources: -1}}, "source count"},
+		{"periods", StreamSpec{Arrivals: ArrivalParams{MinPeriod: 100, MaxPeriod: 50}}, "period range"},
+		{"rate", StreamSpec{Arrivals: ArrivalParams{Rate: -0.1}}, "rate"},
+		{"burst mean", StreamSpec{Arrivals: ArrivalParams{BurstMean: 0.5}}, "burst mean"},
+		{"burst gap", StreamSpec{Arrivals: ArrivalParams{BurstGap: -1}}, "burst gap"},
+		{"laxity", StreamSpec{Arrivals: ArrivalParams{Laxity: -2}}, "laxity"},
+		{"types", StreamSpec{Arrivals: ArrivalParams{Types: -3}}, "task types"},
+		{"job cap", StreamSpec{Arrivals: ArrivalParams{Horizon: 900000, Rate: 1}}, "cap"},
+		{"pes", StreamSpec{Platform: PlatformParams{PEs: -2}}, "PEs"},
+		{"speeds", StreamSpec{Platform: PlatformParams{MinSpeed: 2, MaxSpeed: 1}}, "speed spread"},
+		{"noise", StreamSpec{Platform: PlatformParams{Noise: 1.5}}, "noise"},
+		{"layout", StreamSpec{Platform: PlatformParams{Layout: "spiral"}}, "layout"},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Validate()
+		if err == nil {
+			t.Errorf("%s: invalid spec accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	if err := (StreamSpec{}).Validate(); err != nil {
+		t.Errorf("zero spec (all defaults) rejected: %v", err)
+	}
+}
+
+// Every defaulted field must land in the normalized form, and
+// normalization must be idempotent (fingerprints depend on it).
+func TestStreamSpecNormalizedIdempotent(t *testing.T) {
+	n := (StreamSpec{}).Normalized()
+	if n.Name == "" || n.Arrivals.Horizon == 0 || n.Arrivals.Sources == 0 ||
+		n.Arrivals.MinPeriod == 0 || n.Arrivals.MaxPeriod == 0 || n.Arrivals.Rate == 0 ||
+		n.Arrivals.BurstMean == 0 || n.Arrivals.BurstGap == 0 || n.Arrivals.Laxity == 0 ||
+		n.Arrivals.Types == 0 || n.Platform.PEs == 0 || n.Platform.MinSpeed == 0 ||
+		n.Platform.MaxSpeed == 0 || n.Platform.MeanWork == 0 || n.Platform.MeanPower == 0 ||
+		n.Platform.Noise == 0 || n.Platform.Layout == "" {
+		t.Fatalf("normalization left a zero field: %+v", n)
+	}
+	if n != n.Normalized() {
+		t.Error("Normalized is not idempotent")
+	}
+	if n.Fingerprint() != (StreamSpec{}).Fingerprint() {
+		t.Error("normalization moved the fingerprint")
+	}
+}

@@ -162,9 +162,14 @@ func (s *Service) Handler() http.Handler {
 	return mux
 }
 
-// errorBody is the JSON error envelope for non-200 responses.
+// errorBody is the JSON error envelope for non-200 responses. Field is
+// set on validation failures: the request field the error names, so
+// clients can map 400s back to their inputs without parsing the
+// message. Error always carries thermalsched's canonical message — the
+// same text Request.Validate returns and the CLI prints.
 type errorBody struct {
 	Error string `json:"error"`
+	Field string `json:"field,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -176,7 +181,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorBody{Error: err.Error()})
+	body := errorBody{Error: err.Error()}
+	var fe *thermalsched.FieldError
+	if errors.As(err, &fe) {
+		body.Field = fe.Field
+	}
+	writeJSON(w, status, body)
 }
 
 // acquire takes an execution slot. When the service is saturated the

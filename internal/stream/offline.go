@@ -1,0 +1,48 @@
+package stream
+
+// clairvoyantBound returns a lower bound on the makespan of *any*
+// schedule of the realized trace — even one built by a clairvoyant
+// offline scheduler that knows every arrival and realized duration in
+// advance. Two classical arguments, take the max:
+//
+//   - Release + work: job j cannot finish before its arrival plus its
+//     fastest realized duration, so max_j (a_j + minDur_j) is a bound.
+//   - Suffix load: the jobs arriving at or after a_i represent at least
+//     Σ minDur of work that cannot start before a_i, spread over at
+//     most nPE machines, so a_i + (suffix work)/nPE is a bound for
+//     every arrival index i (jobs are sorted by arrival).
+//
+// Because every online schedule is in particular a schedule, the
+// realized makespan is ≥ this bound, which makes the reported
+// price-of-onlineness Makespan/Bound ≥ 1 by construction — a
+// conservative estimate of the true competitive ratio (the bound may
+// undercut the optimal offline makespan, never exceed it).
+func clairvoyantBound(jobs []Job, dur []float64, capable []bool, nPE int) float64 {
+	bound := 0.0
+	suffix := 0.0
+	minDur := make([]float64, len(jobs))
+	for j := range jobs {
+		best := 0.0
+		first := true
+		for p := 0; p < nPE; p++ {
+			if !capable[j*nPE+p] {
+				continue
+			}
+			if first || dur[j*nPE+p] < best {
+				best = dur[j*nPE+p]
+				first = false
+			}
+		}
+		minDur[j] = best
+		if b := jobs[j].Arrival + best; b > bound {
+			bound = b
+		}
+	}
+	for i := len(jobs) - 1; i >= 0; i-- {
+		suffix += minDur[i]
+		if b := jobs[i].Arrival + suffix/float64(nPE); b > bound {
+			bound = b
+		}
+	}
+	return bound
+}

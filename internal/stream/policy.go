@@ -1,0 +1,42 @@
+package stream
+
+import "fmt"
+
+// Online policy names. These intentionally do not overlap the offline
+// list-scheduler policy names (sched.ParsePolicy): an online policy
+// decides placement with past knowledge only, so the two families are
+// never interchangeable.
+const (
+	// PolicyFIFO serves jobs strictly in arrival order on the
+	// lowest-index idle PE — the throughput-oblivious baseline.
+	PolicyFIFO = "fifo"
+	// PolicyRandom serves in arrival order on a seeded-random idle PE.
+	PolicyRandom = "random"
+	// PolicyCoolest serves in EDF order on the idle PE whose thermal
+	// block reads coolest (last step's sensor values).
+	PolicyCoolest = "coolest"
+	// PolicyGreedy serves in EDF order on the idle PE whose predicted
+	// steady-state average-temperature impact is smallest, computed
+	// incrementally from the influence oracle — the online counterpart
+	// of the paper's thermal-aware list scheduler.
+	PolicyGreedy = "greedy"
+)
+
+// Policies lists the online policy names in their canonical order.
+func Policies() []string {
+	return []string{PolicyFIFO, PolicyRandom, PolicyCoolest, PolicyGreedy}
+}
+
+// ParsePolicy canonicalizes an online policy name; empty means
+// PolicyGreedy.
+func ParsePolicy(name string) (string, error) {
+	if name == "" {
+		return PolicyGreedy, nil
+	}
+	for _, p := range Policies() {
+		if name == p {
+			return p, nil
+		}
+	}
+	return "", fmt.Errorf("stream: unknown online policy %q (want one of %v)", name, Policies())
+}

@@ -1,7 +1,6 @@
 package thermalsched
 
 import (
-	"fmt"
 	"strings"
 
 	"thermalsched/internal/cosynth"
@@ -51,12 +50,15 @@ const (
 	// win rates — the randomized-sweep study generalized to arbitrary
 	// scenario families and policy sets.
 	FlowCampaign FlowKind = "campaign"
+	// FlowStream generates a seeded online workload (Request.Stream):
+	// periodic sources plus a Poisson/bursty aperiodic process, released
+	// over simulated time against the live transient thermal model. An
+	// online policy (Request.Policy: fifo, random, coolest, greedy)
+	// places each job with past knowledge only; the report includes the
+	// deadline-miss rate, the thermal envelope, and the
+	// price-of-onlineness ratio against a clairvoyant offline bound.
+	FlowStream FlowKind = "stream"
 )
-
-// FlowKinds lists every flow an Engine accepts.
-func FlowKinds() []FlowKind {
-	return []FlowKind{FlowPlatform, FlowCoSynthesis, FlowSweep, FlowDTM, FlowSimulate, FlowGenerate, FlowCampaign}
-}
 
 // TaskSpec is the serializable form of one task-graph node.
 type TaskSpec struct {
@@ -354,6 +356,11 @@ type Request struct {
 	// CampaignSpec.
 	Campaign *CampaignSpec `json:"campaign,omitempty"`
 
+	// Stream describes the online workload FlowStream generates and
+	// dispatches; nil everywhere else (Validate rejects it on other
+	// flows). Generated workloads are cached by fingerprint.
+	Stream *StreamSpec `json:"stream,omitempty"`
+
 	// IncludeGantt asks for the schedule's per-PE timeline in
 	// Response.Gantt (platform and cosynthesis flows).
 	IncludeGantt bool `json:"includeGantt,omitempty"`
@@ -395,6 +402,12 @@ func WithScenario(spec ScenarioSpec) RequestOption {
 // WithCampaign tunes the FlowCampaign study.
 func WithCampaign(spec CampaignSpec) RequestOption {
 	return func(r *Request) { r.Campaign = &spec }
+}
+
+// WithStream makes the request generate and dispatch the described
+// online workload (FlowStream).
+func WithStream(spec StreamSpec) RequestOption {
+	return func(r *Request) { r.Stream = &spec }
 }
 
 // WithPolicy selects the ASP variant.
@@ -501,18 +514,25 @@ func (r *Request) policy() (Policy, error) {
 	return sched.ParsePolicy(r.Policy)
 }
 
-// Validate reports the first problem that makes the request unrunnable.
-// The Engine validates every request; services should call this before
-// accepting work so malformed requests fail fast with a clear message.
+// Validate reports the first problem that makes the request unrunnable,
+// as a *FieldError naming the offending field. The Engine validates
+// every request; services should call this before accepting work so
+// malformed requests fail fast with a clear message — the service's 400
+// bodies and the CLI's usage errors carry these messages verbatim.
+//
+// The generic rules (flow existence, policy family, input arity, shared
+// knob ranges, cross-flow spec rejection) are driven entirely by the
+// flow registry; flow-specific checks run through each registry row's
+// validate hook.
 func (r *Request) Validate() error {
-	switch r.Flow {
-	case FlowPlatform, FlowCoSynthesis, FlowSweep, FlowDTM, FlowSimulate, FlowGenerate, FlowCampaign:
-	case "":
-		return fmt.Errorf("thermalsched: request missing flow (want one of %v)", FlowKinds())
-	default:
-		return fmt.Errorf("thermalsched: unknown flow %q (want one of %v)", r.Flow, FlowKinds())
+	if r.Flow == "" {
+		return fieldErr("flow", "request missing flow (want one of %v)", FlowKinds())
 	}
-	if _, err := r.policy(); err != nil {
+	fs, ok := flowFor(r.Flow)
+	if !ok {
+		return fieldErr("flow", "unknown flow %q (want one of %v)", r.Flow, FlowKinds())
+	}
+	if err := fs.checkPolicy(r); err != nil {
 		return err
 	}
 	inputs := 0
@@ -521,45 +541,45 @@ func (r *Request) Validate() error {
 			inputs++
 		}
 	}
-	switch r.Flow {
-	case FlowSweep:
+	switch fs.input {
+	case flowInputGenerated:
 		if inputs > 0 {
-			return fmt.Errorf("thermalsched: sweep requests generate their own graphs; remove benchmark/graph/scenario")
+			return fieldErr("input", "%s requests generate their own inputs; remove benchmark/graph/scenario", r.Flow)
 		}
-		if r.SweepCount < 0 {
-			return fmt.Errorf("thermalsched: negative sweep count %d", r.SweepCount)
-		}
-	case FlowCampaign:
-		if inputs > 0 {
-			return fmt.Errorf("thermalsched: campaign requests generate their own scenarios; remove benchmark/graph/scenario")
-		}
-	case FlowGenerate:
+	case flowInputScenario:
 		if r.Scenario == nil {
-			return fmt.Errorf("thermalsched: generate requests need a scenario spec")
+			return fieldErr("scenario", "%s requests need a scenario spec", r.Flow)
 		}
 		if r.Benchmark != "" || r.Graph != nil {
-			return fmt.Errorf("thermalsched: generate requests take only a scenario spec; remove benchmark/graph")
+			return fieldErr("input", "%s requests take only a scenario spec; remove benchmark/graph", r.Flow)
 		}
-	default:
+	case flowInputStream:
+		if inputs > 0 {
+			return fieldErr("input", "%s requests take only a stream spec; remove benchmark/graph/scenario", r.Flow)
+		}
+	default: // flowInputOne
 		switch {
 		case inputs == 0:
-			return fmt.Errorf("thermalsched: request needs a benchmark name, an inline graph or a scenario spec")
+			return fieldErr("input", "request needs a benchmark name, an inline graph or a scenario spec")
 		case inputs > 1:
-			return fmt.Errorf("thermalsched: set exactly one of benchmark, graph or scenario")
+			return fieldErr("input", "set exactly one of benchmark, graph or scenario")
 		}
 	}
 	if r.Scenario != nil {
 		if err := r.Scenario.Validate(); err != nil {
-			return err
+			return fieldErr("scenario", "%v", err)
 		}
 	}
 	if r.Campaign != nil && r.Flow != FlowCampaign {
-		return fmt.Errorf("thermalsched: campaign parameters on a %q request", r.Flow)
+		return fieldErr("campaign", "campaign parameters on a %q request", r.Flow)
 	}
 	if r.Campaign != nil {
 		if err := r.Campaign.Validate(); err != nil {
-			return err
+			return fieldErr("campaign", "%v", err)
 		}
+	}
+	if r.Stream != nil && r.Flow != FlowStream {
+		return fieldErr("stream", "stream parameters on a %q request", r.Flow)
 	}
 	if r.Benchmark != "" {
 		known := taskgraph.BenchmarkNames()
@@ -571,64 +591,38 @@ func (r *Request) Validate() error {
 			}
 		}
 		if !found {
-			return fmt.Errorf("thermalsched: unknown benchmark %q (want one of %s)",
+			return fieldErr("benchmark", "unknown benchmark %q (want one of %s)",
 				r.Benchmark, strings.Join(known, ", "))
 		}
 	}
 	if r.BusTimePerUnit < 0 {
-		return fmt.Errorf("thermalsched: negative bus rate %g", r.BusTimePerUnit)
+		return fieldErr("busTimePerUnit", "negative bus rate %g", r.BusTimePerUnit)
 	}
 	if r.MaxPEs < 0 {
-		return fmt.Errorf("thermalsched: negative MaxPEs %d", r.MaxPEs)
+		return fieldErr("maxPEs", "negative MaxPEs %d", r.MaxPEs)
 	}
 	if r.FloorplanGenerations < 0 {
-		return fmt.Errorf("thermalsched: negative floorplan generations %d", r.FloorplanGenerations)
+		return fieldErr("floorplanGenerations", "negative floorplan generations %d", r.FloorplanGenerations)
 	}
 	if r.Parallelism < 0 {
-		return fmt.Errorf("thermalsched: negative parallelism %d", r.Parallelism)
+		return fieldErr("parallelism", "negative parallelism %d", r.Parallelism)
 	}
-	if r.Parallelism > 0 && r.Flow != FlowCoSynthesis {
-		return fmt.Errorf("thermalsched: parallelism on a %q request (only the search-driven cosynthesis flow consumes it)", r.Flow)
+	if r.Parallelism > 0 && !fs.parallelism {
+		return fieldErr("parallelism", "parallelism on a %q request (only the cosynthesis and stream flows consume it)", r.Flow)
 	}
 	switch r.Solver {
 	case "", hotspot.SolverDense, hotspot.SolverSparse, hotspot.SolverPCG:
 	default:
-		return fmt.Errorf("thermalsched: unknown solver %q (want one of %v)", r.Solver, hotspot.SolverNames())
-	}
-	if r.Solver != "" && r.Flow == FlowGenerate {
-		return fmt.Errorf("thermalsched: solver override on a %q request (it never builds a thermal model)", r.Flow)
+		return fieldErr("solver", "unknown solver %q (want one of %v)", r.Solver, hotspot.SolverNames())
 	}
 	if r.DTM != nil && r.Flow != FlowDTM {
-		return fmt.Errorf("thermalsched: dtm parameters on a %q request", r.Flow)
-	}
-	if r.DTM != nil {
-		switch r.DTM.Controller {
-		case "", "toggle", "pi":
-		default:
-			return fmt.Errorf("thermalsched: unknown DTM controller %q (want toggle or pi)", r.DTM.Controller)
-		}
+		return fieldErr("dtm", "dtm parameters on a %q request", r.Flow)
 	}
 	if r.Simulate != nil && r.Flow != FlowSimulate {
-		return fmt.Errorf("thermalsched: simulate parameters on a %q request", r.Flow)
+		return fieldErr("simulate", "simulate parameters on a %q request", r.Flow)
 	}
-	if s := r.Simulate; s != nil {
-		switch s.Controller {
-		case "", "toggle", "pi", "none":
-		default:
-			return fmt.Errorf("thermalsched: unknown simulate controller %q (want toggle, pi or none)", s.Controller)
-		}
-		if s.Replicas < 0 {
-			return fmt.Errorf("thermalsched: negative replica count %d", s.Replicas)
-		}
-		if s.Replicas > MaxSimulateReplicas {
-			return fmt.Errorf("thermalsched: %d replicas exceed the limit %d", s.Replicas, MaxSimulateReplicas)
-		}
-		if s.DT < 0 || s.TimeScale < 0 {
-			return fmt.Errorf("thermalsched: negative simulate step (dt %g, timeScale %g)", s.DT, s.TimeScale)
-		}
-		if s.MinFactor < 0 || s.MinFactor > 1 {
-			return fmt.Errorf("thermalsched: simulate MinFactor %g out of (0, 1]", s.MinFactor)
-		}
+	if fs.validate != nil {
+		return fs.validate(r)
 	}
 	return nil
 }

@@ -131,6 +131,8 @@ type Response struct {
 	Scenario *ScenarioReport `json:"scenario,omitempty"`
 	// Campaign carries the FlowCampaign aggregate.
 	Campaign *CampaignReport `json:"campaign,omitempty"`
+	// Stream carries the FlowStream online-dispatch summary.
+	Stream *StreamReport `json:"stream,omitempty"`
 	// ElapsedMS is the server-side wall-clock cost of the run.
 	ElapsedMS float64 `json:"elapsedMs"`
 	// Error is set instead of the payload fields when a batch entry or

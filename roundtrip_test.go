@@ -117,6 +117,17 @@ func TestGenerateResponseIdenticalAcrossSurfaces(t *testing.T) {
 			"-seed", "11", "-json"})
 }
 
+func TestStreamResponseIdenticalAcrossSurfaces(t *testing.T) {
+	crossSurface(t,
+		thermalsched.NewRequest(thermalsched.FlowStream,
+			thermalsched.WithStream(thermalsched.StreamSpec{
+				Seed: 3, MinFactor: 0.8, Replicas: 2,
+			}),
+		),
+		[]string{"-flow", "stream", "-seed", "3", "-minfactor", "0.8",
+			"-replicas", "2", "-json"})
+}
+
 func TestCampaignResponseIdenticalAcrossSurfaces(t *testing.T) {
 	crossSurface(t,
 		thermalsched.NewRequest(thermalsched.FlowCampaign,

@@ -88,39 +88,39 @@ func scenarioReport(sc *Scenario) (*ScenarioReport, error) {
 // the cache only needs to hold a campaign's working set.
 const DefaultScenarioCacheSize = 128
 
-// scenarioCache memoizes generated scenarios by fingerprint. Scenarios
-// are immutable once generated (scheduling never mutates its input
-// graph and the library is read-only), so one cached instance can serve
-// concurrent workers.
-type scenarioCache struct {
+// fpCache memoizes fingerprint-keyed generated artifacts (scenarios,
+// stream workloads). The cached values are immutable once generated
+// (scheduling never mutates its input graph and libraries are
+// read-only), so one cached instance can serve concurrent workers.
+type fpCache[V any] struct {
 	mu     sync.Mutex
 	cap    int
-	byFP   map[string]*Scenario
+	byFP   map[string]V
 	hits   uint64
 	misses uint64
 }
 
-func newScenarioCache(capacity int) *scenarioCache {
-	return &scenarioCache{cap: capacity, byFP: make(map[string]*Scenario)}
+func newFPCache[V any](capacity int) *fpCache[V] {
+	return &fpCache[V]{cap: capacity, byFP: make(map[string]V)}
 }
 
-// get returns the cached scenario for a fingerprint, if present.
-func (c *scenarioCache) get(fp string) (*Scenario, bool) {
+// get returns the cached value for a fingerprint, if present.
+func (c *fpCache[V]) get(fp string) (V, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	sc, ok := c.byFP[fp]
+	v, ok := c.byFP[fp]
 	if ok {
 		c.hits++
 	} else {
 		c.misses++
 	}
-	return sc, ok
+	return v, ok
 }
 
-// put inserts a scenario, evicting an arbitrary entry when full (the
+// put inserts a value, evicting an arbitrary entry when full (the
 // access pattern is a campaign sweeping its scenario set in order, so
 // recency tracking would buy nothing).
-func (c *scenarioCache) put(fp string, sc *Scenario) {
+func (c *fpCache[V]) put(fp string, v V) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.byFP[fp]; !ok && len(c.byFP) >= c.cap {
@@ -130,10 +130,10 @@ func (c *scenarioCache) put(fp string, sc *Scenario) {
 			break
 		}
 	}
-	c.byFP[fp] = sc
+	c.byFP[fp] = v
 }
 
-func (c *scenarioCache) stats() (hits, misses uint64, size int) {
+func (c *fpCache[V]) stats() (hits, misses uint64, size int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, len(c.byFP)
