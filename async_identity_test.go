@@ -52,7 +52,24 @@ func asyncFlows() map[string]thermalsched.Request {
 				Scenarios: 3, Seed: 9, MinTasks: 20, MaxTasks: 30,
 				Policies: []string{"h3", "thermal"},
 			})),
+		"simulate-admit": thermalsched.NewRequest(thermalsched.FlowSimulate,
+			thermalsched.WithBenchmark("Bm2"), thermalsched.WithPolicy(thermalsched.ThermalAware),
+			thermalsched.WithSimulate(thermalsched.SimulateSpec{
+				Controller: "admit", Replicas: 2, Seed: 3, MinFactor: 0.8, WarmStart: true,
+			})),
+		"stream-zigzag": streamPolicyRequest(thermalsched.StreamPolicyZigzag),
 	}
+}
+
+// streamPolicyRequest builds the seeded stream request the async suite
+// runs under one named online policy.
+func streamPolicyRequest(policy string) thermalsched.Request {
+	req := thermalsched.NewRequest(thermalsched.FlowStream,
+		thermalsched.WithStream(thermalsched.StreamSpec{
+			Seed: 3, MinFactor: 0.8, Replicas: 2,
+		}))
+	req.Policy = policy
+	return req
 }
 
 func normalizeResp(t *testing.T, resp *thermalsched.Response) string {

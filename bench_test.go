@@ -736,6 +736,46 @@ func BenchmarkHotSpotSteadyStateLarge(b *testing.B) {
 // oracle inquiry per (pending job, idle PE) pair — the price of
 // thermal foresight over FIFO's head-of-line pop — and is the PR-9
 // hot path the nightly baseline gates.
+// BenchmarkAdmission measures the thermal supervisor's predictive
+// admission path end to end, per surface. The simulate rows run one
+// warm-started closed-loop co-simulation of Bm1 per op: toggle is the
+// reactive baseline on the shared coloop core, admit pays the one-time
+// RiseForecaster setup (each PE block's unit-step self-response sampled
+// out to the longest task's WCET) plus per-dispatch forecast lookups
+// and embargo bookkeeping on top, so the toggle→admit delta is the
+// entire cost of admission control. The stream row dispatches the default
+// online workload under the admit policy, where the same queries gate
+// every placement attempt.
+func BenchmarkAdmission(b *testing.B) {
+	e, err := NewEngine()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, ctrl := range []string{"toggle", "admit"} {
+		b.Run("simulate/"+ctrl, func(b *testing.B) {
+			req := NewRequest(FlowSimulate,
+				WithBenchmark("Bm1"),
+				WithSimulate(SimulateSpec{Controller: ctrl, MinFactor: 0.8, WarmStart: true}))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Run(context.Background(), req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("stream/admit", func(b *testing.B) {
+		req := NewRequest(FlowStream, WithStream(StreamSpec{Seed: 1, MinFactor: 0.8}))
+		req.Policy = StreamPolicyAdmit
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Run(context.Background(), req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func BenchmarkStream(b *testing.B) {
 	e, err := NewEngine()
 	if err != nil {

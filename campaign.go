@@ -50,9 +50,19 @@ type CampaignSpec struct {
 	// cell is a FlowStream dispatch of a generated arrival trace (the
 	// template for per-scenario workloads — Name and Seed are overridden
 	// per scenario) and Policies names online policies (fifo, random,
-	// coolest, greedy; default fifo vs greedy). Mutually exclusive with
-	// Simulate and Template.
+	// coolest, greedy, admit, zigzag; default fifo vs greedy). Mutually
+	// exclusive with Simulate and Template.
 	Stream *StreamSpec `json:"stream,omitempty"`
+	// Controllers, when set, switches the comparison axis from
+	// scheduling policies to closed-loop DTM controllers: every cell
+	// runs the same scheduling policy (the single Policies entry;
+	// default thermal) through the co-simulator with one of the named
+	// controller kinds (toggle, pi, none, admit, zigzag), so the duels
+	// read as reactive-vs-predictive thermal management at a fixed
+	// schedule. Implies simulate mode (a nil Simulate spec defaults);
+	// mutually exclusive with Stream — online campaigns duel controllers
+	// by listing admit/zigzag directly in Policies.
+	Controllers []string `json:"controllers,omitempty"`
 }
 
 func (c *CampaignSpec) withDefaults() CampaignSpec {
@@ -62,6 +72,16 @@ func (c *CampaignSpec) withDefaults() CampaignSpec {
 	}
 	if out.Scenarios == 0 {
 		out.Scenarios = 8
+	}
+	if len(out.Controllers) > 0 {
+		// A controller duel is inherently a simulate-mode campaign at a
+		// fixed scheduling policy.
+		if out.Simulate == nil {
+			out.Simulate = &SimulateSpec{}
+		}
+		if len(out.Policies) == 0 {
+			out.Policies = []string{sched.ThermalAware.String()}
+		}
 	}
 	if len(out.Policies) == 0 {
 		if out.Stream != nil {
@@ -120,10 +140,27 @@ func (c *CampaignSpec) Validate() error {
 		}
 	}
 	if s := n.Simulate; s != nil {
-		switch s.Controller {
-		case "", "toggle", "pi", "none":
-		default:
-			return fmt.Errorf("thermalsched: unknown campaign simulate controller %q", s.Controller)
+		if !validSimulateController(s.Controller) {
+			return fmt.Errorf("thermalsched: unknown campaign simulate controller %q (want one of %v)",
+				s.Controller, simulateControllers)
+		}
+	}
+	if len(n.Controllers) > 0 {
+		if n.Stream != nil {
+			return fmt.Errorf("thermalsched: campaign controller duel excludes stream mode; list admit/zigzag in policies instead")
+		}
+		if len(n.Policies) != 1 {
+			return fmt.Errorf("thermalsched: campaign controller duel needs exactly one scheduling policy, got %d", len(n.Policies))
+		}
+		seenCtl := make(map[string]bool, len(n.Controllers))
+		for _, name := range n.Controllers {
+			if name == "" || !validSimulateController(name) {
+				return fmt.Errorf("thermalsched: unknown campaign controller %q (want one of %v)", name, simulateControllers)
+			}
+			if seenCtl[name] {
+				return fmt.Errorf("thermalsched: campaign controller %q listed twice", name)
+			}
+			seenCtl[name] = true
 		}
 	}
 	if n.Stream != nil {
@@ -288,6 +325,14 @@ type CampaignDuel struct {
 	MissRateWins int     `json:"missRateWins,omitempty"`
 	MissRateTies int     `json:"missRateTies,omitempty"`
 	MeanMissRed  float64 `json:"meanMissRed,omitempty"`
+	// PeakTempWins counts scenarios where the reference's realized peak
+	// temperature ran strictly cooler; MeanPeakRedC the mean reduction.
+	// These are the closed-loop counterpart of the static MaxTemp duel —
+	// the columns a controller duel (reactive vs predictive) is read by
+	// (simulate and stream modes only).
+	PeakTempWins int     `json:"peakTempWins,omitempty"`
+	PeakTempTies int     `json:"peakTempTies,omitempty"`
+	MeanPeakRedC float64 `json:"meanPeakRedC,omitempty"`
 }
 
 // CampaignReport is the FlowCampaign payload: per-scenario rows plus
@@ -304,6 +349,10 @@ type CampaignReport struct {
 	// dispatches, duels compare miss rates and thermal envelopes, and
 	// feasibility (zero misses) is a metric, not a comparison gate.
 	Streamed bool `json:"streamed,omitempty"`
+	// ControllerAxis marks a controller duel: Policies carries controller
+	// kinds, every cell shares one scheduling policy, and the realized
+	// peak/miss-rate duel columns are the ones that differ.
+	ControllerAxis bool `json:"controllerAxis,omitempty"`
 	// Failed counts cells whose runs errored (excluded from
 	// aggregates).
 	Failed    int                   `json:"failed"`
@@ -349,11 +398,31 @@ func (e *Engine) runCampaignFlow(ctx context.Context, req *Request) (*Response, 
 	if spec.Simulate != nil {
 		flow = FlowSimulate
 	}
-	subs := make([]Request, 0, len(specs)*len(policies))
+	// The grid's column axis is policies, or controllers in a controller
+	// duel — there the scheduling policy is pinned to the single entry
+	// and each column overrides the simulate spec's controller kind.
+	cols := policies
+	var simSpecs []*SimulateSpec
+	if len(spec.Controllers) > 0 {
+		cols = spec.Controllers
+		simSpecs = make([]*SimulateSpec, len(cols))
+		for j, ctrl := range cols {
+			s := *spec.Simulate
+			s.Controller = ctrl
+			simSpecs[j] = &s
+		}
+	}
+	subs := make([]Request, 0, len(specs)*len(cols))
 	for i := range specs {
-		for _, pol := range policies {
+		for j := range cols {
+			pol := policies[0]
+			if simSpecs == nil {
+				pol = cols[j]
+			}
 			sub := Request{Flow: flow, Scenario: &specs[i], Policy: pol, Solver: req.Solver}
-			if spec.Simulate != nil {
+			if simSpecs != nil {
+				sub.Simulate = simSpecs[j]
+			} else if spec.Simulate != nil {
 				sub.Simulate = spec.Simulate
 			}
 			subs = append(subs, sub)
@@ -365,14 +434,18 @@ func (e *Engine) runCampaignFlow(ctx context.Context, req *Request) (*Response, 
 	}
 
 	report := &CampaignReport{
-		Scenarios: len(specs),
-		Policies:  policies,
-		Reference: campaignReference(policies),
-		Simulated: spec.Simulate != nil,
+		Scenarios:      len(specs),
+		Policies:       cols,
+		Reference:      campaignReference(cols),
+		Simulated:      spec.Simulate != nil,
+		ControllerAxis: len(spec.Controllers) > 0,
+	}
+	if report.ControllerAxis {
+		report.Reference = campaignControllerReference(cols)
 	}
 	for i := range specs {
-		for j, pol := range policies {
-			rows[i].Cells = append(rows[i].Cells, campaignCell(pol, resps[i*len(policies)+j]))
+		for j, col := range cols {
+			rows[i].Cells = append(rows[i].Cells, campaignCell(col, resps[i*len(cols)+j]))
 		}
 	}
 	report.Rows = rows
@@ -439,14 +512,31 @@ func campaignReference(policies []string) string {
 }
 
 // campaignStreamReference picks the stream-mode duel reference: the
-// thermal-greedy online policy when present, otherwise the first.
+// predictive admission policy when present (it is the one whose wins
+// the duels are meant to witness), then thermal-greedy, then the first.
 func campaignStreamReference(policies []string) string {
+	for _, p := range policies {
+		if p == stream.PolicyAdmit {
+			return p
+		}
+	}
 	for _, p := range policies {
 		if p == stream.PolicyGreedy {
 			return p
 		}
 	}
 	return policies[0]
+}
+
+// campaignControllerReference picks the controller-duel reference:
+// predictive admission when present, otherwise the first controller.
+func campaignControllerReference(controllers []string) string {
+	for _, c := range controllers {
+		if c == "admit" {
+			return c
+		}
+	}
+	return controllers[0]
 }
 
 // campaignCell converts one sub-run's response into a row cell.
@@ -572,6 +662,9 @@ func aggregateCampaign(r *CampaignReport) {
 				dMiss := oc.DeadlineMissRate - ref.DeadlineMissRate
 				duel.MeanMissRed += dMiss
 				tally(dMiss, &duel.MissRateWins, &duel.MissRateTies)
+				dPeak := oc.PeakTempC - ref.PeakTempC
+				duel.MeanPeakRedC += dPeak
+				tally(dPeak, &duel.PeakTempWins, &duel.PeakTempTies)
 			}
 		}
 		if duel.Compared > 0 {
@@ -580,6 +673,7 @@ func aggregateCampaign(r *CampaignReport) {
 			duel.MeanAvgRedC /= n
 			duel.MeanPowerRed /= n
 			duel.MeanMissRed /= n
+			duel.MeanPeakRedC /= n
 		}
 		r.Duels = append(r.Duels, duel)
 	}
@@ -624,6 +718,8 @@ func (r *CampaignReport) String() string {
 		if r.Simulated || r.Streamed {
 			fmt.Fprintf(&b, "    misses fewer deadlines on %d/%d (%d ties, mean red %.3f)\n",
 				d.MissRateWins, d.Compared, d.MissRateTies, d.MeanMissRed)
+			fmt.Fprintf(&b, "    realized peak cooler on %d/%d (%d ties, mean red %.2f °C)\n",
+				d.PeakTempWins, d.Compared, d.PeakTempTies, d.MeanPeakRedC)
 		}
 	}
 	return b.String()

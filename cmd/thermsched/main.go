@@ -17,6 +17,9 @@
 //	thermsched -flow campaign -scenarios 50 -mintasks 20 -maxtasks 200 -seed 1
 //	thermsched -flow stream -seed 3 -policy greedy -replicas 4 -json
 //	thermsched -flow campaign -stream -scenarios 8 -seed 1
+//	thermsched -flow simulate -benchmark Bm2 -controller admit -warmstart -json
+//	thermsched -flow stream -seed 3 -policy admit -replicas 4
+//	thermsched -flow campaign -controllers toggle,admit -scenarios 8 -seed 1
 //
 // Graph-consuming flows accept -tasks/-pes/… instead of a benchmark or
 // graph file: the run then schedules a generated scenario on its own
@@ -44,7 +47,7 @@ func main() {
 		flow      = flag.String("flow", "platform", "flow: "+thermalsched.FlowNames())
 		benchmark = flag.String("benchmark", "", "paper benchmark (Bm1..Bm4)")
 		graphFile = flag.String("graph", "", "task graph file (.tg)")
-		policyStr = flag.String("policy", "thermal", "ASP policy (baseline, h1, h2, h3, thermal) or, for -flow stream, an online policy (fifo, random, coolest, greedy; default greedy)")
+		policyStr = flag.String("policy", "thermal", "ASP policy (baseline, h1, h2, h3, thermal) or, for -flow stream, an online policy (fifo, random, coolest, greedy, admit, zigzag; default greedy)")
 		gantt     = flag.Bool("gantt", false, "print the per-PE timeline")
 		tempW     = flag.Float64("tempweight", 0, "override the thermal DC weight (0 = default)")
 		seed      = flag.Int64("seed", -1, "run seed (0 is a valid seed, honored verbatim; negative = default)")
@@ -54,11 +57,20 @@ func main() {
 		asJSON    = flag.Bool("json", false, "emit the serializable Response schema as JSON")
 
 		// FlowSimulate knobs (closed-loop DTM co-simulation).
-		controller = flag.String("controller", "", "simulate controller: toggle, pi, none (default toggle)")
+		controller = flag.String("controller", "", "simulate controller: toggle, pi, none, admit, zigzag (default toggle)")
 		trigger    = flag.Float64("trigger", 0, "simulate toggle trigger / PI setpoint °C (0 = default)")
 		replicas   = flag.Int("replicas", 0, "simulate Monte-Carlo replicas (0 = default 1)")
 		minFactor  = flag.Float64("minfactor", 0, "simulate execution-time factor lower bound (0 = default 1)")
 		warmStart  = flag.Bool("warmstart", false, "simulate from the steady-state operating point")
+
+		// Thermal-supervisor knobs (simulate and stream flows; 0 = default).
+		fairC      = flag.Float64("fairc", 0, "thermal-state ladder fair threshold °C (0 = default 72)")
+		seriousC   = flag.Float64("seriousc", 0, "thermal-state ladder serious threshold °C (0 = default 80)")
+		criticalC  = flag.Float64("criticalc", 0, "thermal-state ladder critical threshold °C (0 = default 88)")
+		serScale   = flag.Float64("seriousscale", 0, "admit controller throttle factor in the serious state (0 = default 0.7)")
+		critScale  = flag.Float64("criticalscale", 0, "admit controller throttle factor in the critical state (0 = default 0.4)")
+		retryAfter = flag.Float64("retryafter", 0, "admit controller denial hold in loop time units (0 = default 2)")
+		coolTime   = flag.Float64("cooltime", 0, "zigzag controller cooling-gap length in loop time units (0 = default 5)")
 
 		// Synthetic-scenario knobs (-flow generate, or any graph flow
 		// with -tasks set).
@@ -78,6 +90,7 @@ func main() {
 		maxTasks  = flag.Int("maxtasks", 0, "campaign maximum tasks per scenario (0 = default 60)")
 		policies  = flag.String("policies", "", "campaign comma-separated policy list (default h3,thermal; stream mode fifo,greedy)")
 		coSim     = flag.Bool("cosim", false, "campaign: run every cell through the closed-loop co-simulator")
+		ctrlDuel  = flag.String("controllers", "", "campaign comma-separated controller duel list (e.g. toggle,admit); implies -cosim with one scheduling policy")
 
 		// FlowStream knobs (-flow stream, or -flow campaign -stream).
 		// The generated platform reuses -pes/-minspeed/-maxspeed/-layout,
@@ -140,9 +153,37 @@ func main() {
 				MaxSpeed: *maxSpeed,
 				Layout:   *layout,
 			},
-			MinFactor: *minFactor,
-			SimSeed:   *simSeed,
-			Replicas:  *replicas,
+			MinFactor:     *minFactor,
+			SimSeed:       *simSeed,
+			Replicas:      *replicas,
+			FairC:         *fairC,
+			SeriousC:      *seriousC,
+			CriticalC:     *criticalC,
+			SeriousScale:  *serScale,
+			CriticalScale: *critScale,
+			RetryAfter:    *retryAfter,
+			CoolTime:      *coolTime,
+		}
+		if *seed >= 0 {
+			spec.Seed = *seed
+		}
+		return spec
+	}
+	simulateSpec := func() *thermalsched.SimulateSpec {
+		spec := &thermalsched.SimulateSpec{
+			Controller:    *controller,
+			TriggerC:      *trigger,
+			SetpointC:     *trigger,
+			Replicas:      *replicas,
+			MinFactor:     *minFactor,
+			WarmStart:     *warmStart,
+			FairC:         *fairC,
+			SeriousC:      *seriousC,
+			CriticalC:     *criticalC,
+			SeriousScale:  *serScale,
+			CriticalScale: *critScale,
+			RetryAfter:    *retryAfter,
+			CoolTime:      *coolTime,
 		}
 		if *seed >= 0 {
 			spec.Seed = *seed
@@ -174,18 +215,7 @@ func main() {
 	req.Solver = *solver
 	switch req.Flow {
 	case thermalsched.FlowSimulate:
-		spec := thermalsched.SimulateSpec{
-			Controller: *controller,
-			TriggerC:   *trigger,
-			SetpointC:  *trigger,
-			Replicas:   *replicas,
-			MinFactor:  *minFactor,
-			WarmStart:  *warmStart,
-		}
-		if *seed >= 0 {
-			spec.Seed = *seed
-		}
-		req.Simulate = &spec
+		req.Simulate = simulateSpec()
 	case thermalsched.FlowCampaign:
 		camp := thermalsched.CampaignSpec{
 			Scenarios: *scenarios,
@@ -198,19 +228,16 @@ func main() {
 		if *policies != "" {
 			camp.Policies = strings.Split(*policies, ",")
 		}
-		if *coSim {
-			sim := thermalsched.SimulateSpec{
-				Controller: *controller,
-				TriggerC:   *trigger,
-				SetpointC:  *trigger,
-				Replicas:   *replicas,
-				MinFactor:  *minFactor,
-				WarmStart:  *warmStart,
+		if *ctrlDuel != "" {
+			camp.Controllers = strings.Split(*ctrlDuel, ",")
+		}
+		if *coSim || *ctrlDuel != "" {
+			camp.Simulate = simulateSpec()
+			// The duel's column axis names the controllers; the shared
+			// spec's kind comes from each column, not -controller.
+			if *ctrlDuel != "" {
+				camp.Simulate.Controller = ""
 			}
-			if *seed >= 0 {
-				sim.Seed = *seed
-			}
-			camp.Simulate = &sim
 		}
 		if *streamMode {
 			st := streamSpec()
@@ -335,6 +362,9 @@ func printHuman(resp *thermalsched.Response) {
 		fmt.Printf("  peak temp °C  %s\n", statsLine(s.PeakTempC, "%.2f"))
 		fmt.Printf("  throttle time %s\n", statsLine(s.ThrottleTime, "%.1f"))
 		fmt.Printf("  deadline miss %.0f%%\n", 100*s.DeadlineMissRate)
+		if s.MeanAdmissionDenials > 0 {
+			fmt.Printf("  denials       %.1f per replica\n", s.MeanAdmissionDenials)
+		}
 	}
 	if s := resp.Stream; s != nil {
 		fmt.Printf("stream     %s policy over %d replica(s): %d jobs (%d periodic, %d aperiodic) on %d PEs, horizon %g\n",
@@ -344,6 +374,9 @@ func printHuman(resp *thermalsched.Response) {
 		fmt.Printf("  miss rate     %s\n", statsLine(s.MissRate, "%.3f"))
 		fmt.Printf("  mean response %s\n", statsLine(s.MeanResponse, "%.1f"))
 		fmt.Printf("  price         %s (clairvoyant bound mean %.1f)\n", statsLine(s.Price, "%.3f"), s.OfflineBound.Mean)
+		if s.MeanAdmissionDenials > 0 {
+			fmt.Printf("  denials       %.1f per replica\n", s.MeanAdmissionDenials)
+		}
 	}
 	if sc := resp.Scenario; sc != nil {
 		fmt.Printf("scenario   %s (fingerprint %s)\n", sc.Name, sc.Fingerprint)

@@ -554,15 +554,32 @@ func (e *Engine) runDTMFlow(ctx context.Context, req *Request) (*Response, error
 	return resp, nil
 }
 
-// controller materializes a fresh DTM controller for the spec. Each
-// replica gets its own instance: controllers carry per-run state and
-// are not safe for concurrent use.
-func simController(spec SimulateSpec) (DTMController, error) {
+// simSupervisor materializes a fresh thermal supervisor for the spec.
+// Each replica gets its own instance: supervisors carry per-run state
+// (throttle latches, PI integrals, admission holds, cooling gaps) and
+// are not safe for concurrent use. The reactive controllers (toggle,
+// pi) adapt to the supervisor contract behind the spec's ladder shim;
+// admit and zigzag are proactive and gate dispatches through Admit.
+func simSupervisor(spec SimulateSpec) (ThermalSupervisor, error) {
+	ladder := spec.ladder()
 	switch spec.Controller {
 	case "toggle":
-		return dtm.NewToggleController(spec.TriggerC, spec.Hysteresis, spec.Throttle)
+		c, err := dtm.NewToggleController(spec.TriggerC, spec.Hysteresis, spec.Throttle)
+		if err != nil {
+			return nil, err
+		}
+		return dtm.Supervise(c, ladder)
 	case "pi":
-		return dtm.NewPIController(spec.SetpointC, spec.Kp, spec.Ki, spec.MinScale)
+		c, err := dtm.NewPIController(spec.SetpointC, spec.Kp, spec.Ki, spec.MinScale)
+		if err != nil {
+			return nil, err
+		}
+		return dtm.Supervise(c, ladder)
+	case "admit":
+		return dtm.NewAdmitController(ladder, spec.SeriousScale, spec.CriticalScale, spec.RetryAfter, spec.Hysteresis)
+	case "zigzag":
+		// A true idle gap (CoolScale 0), one supervisor step per DT.
+		return dtm.NewZigZagController(ladder, spec.CoolTime, spec.DT, 0)
 	case "none":
 		return nil, nil
 	default: // unreachable after Validate
@@ -594,7 +611,7 @@ func (e *Engine) runSimulateFlow(ctx context.Context, req *Request) (*Response, 
 	results := make([]*rt.Result, spec.Replicas)
 	errs := make([]error, spec.Replicas)
 	runReplica := func(i int) {
-		ctrl, err := simController(spec)
+		sup, err := simSupervisor(spec)
 		if err != nil {
 			errs[i] = err
 			return
@@ -602,7 +619,7 @@ func (e *Engine) runSimulateFlow(ctx context.Context, req *Request) (*Response, 
 		rcfg := rt.Config{
 			DT:         spec.DT,
 			TimeScale:  spec.TimeScale,
-			Controller: ctrl,
+			Supervisor: sup,
 			WarmStart:  spec.WarmStart,
 			Exec: sim.Options{
 				MinFactor:   spec.MinFactor,
@@ -618,18 +635,25 @@ func (e *Engine) runSimulateFlow(ctx context.Context, req *Request) (*Response, 
 	// own goroutine, otherwise it runs inline here. This keeps the total
 	// number of concurrent co-simulations bounded by the pool size even
 	// when RunBatch workers each hit this path at once — a per-request
-	// pool would multiply up to workers² goroutines.
+	// pool would multiply up to workers² goroutines. A request-level
+	// Parallelism narrows this run to its own pool of P−1 tokens plus
+	// the inline slot (P=1 is fully serial); either way results are
+	// byte-identical — only wall-clock changes.
+	tokens := e.simTokens
+	if req.Parallelism > 0 {
+		tokens = make(chan struct{}, req.Parallelism-1)
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < spec.Replicas; i++ {
 		if ctx.Err() != nil {
 			break
 		}
 		select {
-		case e.simTokens <- struct{}{}:
+		case tokens <- struct{}{}:
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				defer func() { <-e.simTokens }()
+				defer func() { <-tokens }()
 				runReplica(i)
 			}(i)
 		default:
@@ -649,7 +673,7 @@ func (e *Engine) runSimulateFlow(ctx context.Context, req *Request) (*Response, 
 	makespans := make([]float64, spec.Replicas)
 	peaks := make([]float64, spec.Replicas)
 	throttles := make([]float64, spec.Replicas)
-	misses, steps, energy := 0, 0, 0.0
+	misses, steps, energy, denials := 0, 0, 0.0, 0
 	for i, r := range results {
 		makespans[i] = r.Makespan
 		peaks[i] = r.PeakTempC
@@ -659,19 +683,21 @@ func (e *Engine) runSimulateFlow(ctx context.Context, req *Request) (*Response, 
 		}
 		steps += r.Steps
 		energy += r.Energy
+		denials += r.AdmissionDenials
 	}
 	n := float64(spec.Replicas)
 	report := &SimulateReport{
-		Controller:       spec.Controller,
-		Replicas:         spec.Replicas,
-		StaticMakespan:   res.Schedule.Makespan,
-		Deadline:         res.Schedule.Graph.Deadline,
-		Makespan:         statsOf(makespans),
-		PeakTempC:        statsOf(peaks),
-		ThrottleTime:     statsOf(throttles),
-		DeadlineMissRate: float64(misses) / n,
-		MeanSteps:        float64(steps) / n,
-		MeanEnergy:       energy / n,
+		Controller:           spec.Controller,
+		Replicas:             spec.Replicas,
+		StaticMakespan:       res.Schedule.Makespan,
+		Deadline:             res.Schedule.Graph.Deadline,
+		Makespan:             statsOf(makespans),
+		PeakTempC:            statsOf(peaks),
+		ThrottleTime:         statsOf(throttles),
+		DeadlineMissRate:     float64(misses) / n,
+		MeanSteps:            float64(steps) / n,
+		MeanEnergy:           energy / n,
+		MeanAdmissionDenials: float64(denials) / n,
 	}
 	resp, err := flowResponse(FlowSimulate, cfg.Policy, res, req.IncludeGantt, false)
 	if err != nil {

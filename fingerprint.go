@@ -47,11 +47,10 @@ import (
 //thermalvet:serializes TaskSpec
 //thermalvet:serializes EdgeSpec
 //thermalvet:serializes DTMSpec
-//thermalvet:serializes SimulateSpec
 //thermalvet:serializes CampaignSpec
 func (r *Request) Fingerprint() string {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "req/v3|%s|%s|%s|%s|%t|%g|", r.Flow, r.Benchmark, r.Policy, r.Solver, r.IncludeGantt, r.BusTimePerUnit)
+	fmt.Fprintf(h, "req/v4|%s|%s|%s|%s|%t|%g|", r.Flow, r.Benchmark, r.Policy, r.Solver, r.IncludeGantt, r.BusTimePerUnit)
 	fpFloatPtr(h, r.TempWeight)
 	fpFloatPtr(h, r.PowerWeight)
 	fpFloatPtr(h, r.EnergyWeight)
@@ -98,12 +97,14 @@ func (r *Request) Fingerprint() string {
 		d.Controller, d.TriggerC, d.Hysteresis, d.Throttle, d.SetpointC, d.Kp, d.Ki,
 		d.MinScale, d.SampleDT, d.TimeScale, d.Passes, d.MinFactor, d.SimSeed)
 	s := r.Simulate.withDefaults()
-	fmt.Fprintf(h, "sim:%s|%g|%g|%g|%g|%g|%g|%g|%g|%g|%g|%d|%t|%t|%d|",
-		s.Controller, s.TriggerC, s.Hysteresis, s.Throttle, s.SetpointC, s.Kp, s.Ki,
-		s.MinScale, s.DT, s.TimeScale, s.MinFactor, s.Seed, s.Conditional, s.WarmStart, s.Replicas)
+	fpSimulateSpec(h, "sim:", s)
 	c := r.Campaign.withDefaults()
 	fmt.Fprintf(h, "cmp:%d|%d|%d|%d|p%d|", c.Scenarios, c.Seed, c.MinTasks, c.MaxTasks, len(c.Policies))
 	for _, p := range c.Policies {
+		fmt.Fprintf(h, "%s|", p)
+	}
+	fmt.Fprintf(h, "ctl%d|", len(c.Controllers))
+	for _, p := range c.Controllers {
 		fmt.Fprintf(h, "%s|", p)
 	}
 	if c.Template == nil {
@@ -117,10 +118,7 @@ func (r *Request) Fingerprint() string {
 	if c.Simulate == nil {
 		fmt.Fprint(h, "csim-|")
 	} else {
-		cs := c.Simulate.withDefaults()
-		fmt.Fprintf(h, "csim+%s|%g|%g|%g|%g|%g|%g|%g|%g|%g|%g|%d|%t|%t|%d|",
-			cs.Controller, cs.TriggerC, cs.Hysteresis, cs.Throttle, cs.SetpointC, cs.Kp, cs.Ki,
-			cs.MinScale, cs.DT, cs.TimeScale, cs.MinFactor, cs.Seed, cs.Conditional, cs.WarmStart, cs.Replicas)
+		fpSimulateSpec(h, "csim+", c.Simulate.withDefaults())
 	}
 	// Presence is semantic here too: nil means "offline scenario
 	// campaign", a set spec means "online stream campaign".
@@ -130,6 +128,19 @@ func (r *Request) Fingerprint() string {
 		fmt.Fprintf(h, "cst+%s|", c.Stream.fingerprint())
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// fpSimulateSpec serializes a withDefaults()-normalized SimulateSpec —
+// the only form the flows ever consume — under the given tag, shared by
+// the request's own spec and the campaign's embedded one.
+//
+//thermalvet:serializes SimulateSpec
+func fpSimulateSpec(w io.Writer, tag string, s SimulateSpec) {
+	fmt.Fprintf(w, "%s%s|%g|%g|%g|%g|%g|%g|%g|%g|%g|%g|%g|%g|%g|%g|%g|%g|%g|%d|%t|%t|%d|",
+		tag, s.Controller, s.TriggerC, s.Hysteresis, s.Throttle, s.SetpointC, s.Kp, s.Ki,
+		s.MinScale, s.FairC, s.SeriousC, s.CriticalC, s.SeriousScale, s.CriticalScale,
+		s.RetryAfter, s.CoolTime, s.DT, s.TimeScale, s.MinFactor, s.Seed, s.Conditional,
+		s.WarmStart, s.Replicas)
 }
 
 // fpFloatPtr serializes an optional float knob as presence plus value:

@@ -115,11 +115,12 @@ func flowTable() []flowSpec {
 			validate: validateDTMFlow,
 		},
 		{
-			kind:     FlowSimulate,
-			summary:  "closed-loop DTM co-simulation with Monte-Carlo replicas",
-			input:    flowInputOne,
-			run:      (*Engine).runSimulateFlow,
-			validate: validateSimulateFlow,
+			kind:        FlowSimulate,
+			summary:     "closed-loop DTM co-simulation with Monte-Carlo replicas",
+			input:       flowInputOne,
+			run:         (*Engine).runSimulateFlow,
+			validate:    validateSimulateFlow,
+			parallelism: true,
 		},
 		{
 			kind:     FlowGenerate,
@@ -215,15 +216,51 @@ func validateDTMFlow(r *Request) error {
 	return fieldErr("dtm.controller", "unknown DTM controller %q (want toggle or pi)", r.DTM.Controller)
 }
 
+// simulateControllers is the FlowSimulate controller-kind value set, in
+// help order.
+var simulateControllers = []string{"toggle", "pi", "none", "admit", "zigzag"}
+
+func validSimulateController(name string) bool {
+	if name == "" {
+		return true
+	}
+	for _, c := range simulateControllers {
+		if name == c {
+			return true
+		}
+	}
+	return false
+}
+
+// validateSupervisorKnobs checks the thermal-supervisor knob ranges
+// shared by the simulate and stream specs; prefix is the JSON path
+// ("simulate" or "stream"). Call on a withDefaults() copy so zero
+// (defaulted) knobs are already resolved.
+func validateSupervisorKnobs(prefix string, fairC, seriousC, criticalC, seriousScale, criticalScale, retryAfter, coolTime float64) error {
+	if !(fairC < seriousC && seriousC < criticalC) {
+		return fieldErr(prefix+".fairC", "thermal-state ladder must ascend (fair %g, serious %g, critical %g)",
+			fairC, seriousC, criticalC)
+	}
+	if seriousScale < 0 || seriousScale > 1 || criticalScale < 0 || criticalScale > 1 {
+		return fieldErr(prefix+".seriousScale", "admission scales (serious %g, critical %g) out of [0, 1]",
+			seriousScale, criticalScale)
+	}
+	if !(retryAfter > 0) {
+		return fieldErr(prefix+".retryAfter", "admission RetryAfter %g must be positive", retryAfter)
+	}
+	if !(coolTime > 0) {
+		return fieldErr(prefix+".coolTime", "zig-zag CoolTime %g must be positive", coolTime)
+	}
+	return nil
+}
+
 func validateSimulateFlow(r *Request) error {
 	s := r.Simulate
 	if s == nil {
 		return nil
 	}
-	switch s.Controller {
-	case "", "toggle", "pi", "none":
-	default:
-		return fieldErr("simulate.controller", "unknown simulate controller %q (want toggle, pi or none)", s.Controller)
+	if !validSimulateController(s.Controller) {
+		return fieldErr("simulate.controller", "unknown simulate controller %q (want one of %v)", s.Controller, simulateControllers)
 	}
 	if s.Replicas < 0 {
 		return fieldErr("simulate.replicas", "negative replica count %d", s.Replicas)
@@ -237,7 +274,9 @@ func validateSimulateFlow(r *Request) error {
 	if s.MinFactor < 0 || s.MinFactor > 1 {
 		return fieldErr("simulate.minFactor", "simulate MinFactor %g out of (0, 1]", s.MinFactor)
 	}
-	return nil
+	n := s.withDefaults()
+	return validateSupervisorKnobs("simulate", n.FairC, n.SeriousC, n.CriticalC,
+		n.SeriousScale, n.CriticalScale, n.RetryAfter, n.CoolTime)
 }
 
 func validateStreamFlow(r *Request) error {

@@ -18,13 +18,22 @@
 // natural run-time companion (experiment A3/extension in DESIGN.md) and
 // shows how the static thermal-aware schedule reduces throttling.
 //
+// Beyond reactive scaling, the package defines the Supervisor contract
+// (supervisor.go): thermal-state classification on a nominal/fair/
+// serious/critical Ladder, graduated per-state throttle factors, and
+// admission queries with retry-after hints. Reactive controllers adapt
+// via the Supervise shim; AdmitController (predictive admission) and
+// ZigZagController (forced idle-slack cooling gaps) implement the
+// proactive side.
+//
 // Note that Run is the *open-loop* variant: it drives a fixed,
 // precomputed power trace through the controller, so throttling scales
 // power but cannot slow execution down — the performance cost is only
 // the denied-energy proxy (RunResult.Slowdown). The closed-loop
 // variant, in which throttling stretches the affected tasks and feeds
-// back into makespan and deadline misses, is internal/runtime (the
-// Engine's "simulate" flow); it consumes this package's Controller
+// back into makespan and deadline misses, is the shared stepping core
+// internal/coloop under internal/runtime (the Engine's "simulate" flow)
+// and internal/stream; both consume this package's Supervisor
 // implementations directly.
 package dtm
 
@@ -210,6 +219,11 @@ type RunResult struct {
 	EnergyDelivered float64
 	EnergyRequested float64
 	Steps           int
+	// StateFractions is the fraction of (block, step) pairs spent in
+	// each thermal state (indexed by ThermalState): the supervisor-eye
+	// view of the run — how long the die dwelt at nominal vs fair vs
+	// serious vs critical.
+	StateFractions [NumThermalStates]float64
 }
 
 // Slowdown returns the fraction of requested energy that throttling
@@ -226,15 +240,44 @@ func (r RunResult) Slowdown() float64 {
 // observes the temperatures after each step and its scales apply to the
 // next step's power — a one-step sensing delay, as in a real DTM loop.
 // The loop reuses fixed scratch buffers, so a step allocates nothing.
+//
+// Run is the open-loop study: the power trace is fixed before the
+// controller sees it, so throttling scales power but never reshapes the
+// trace — the execution itself cannot slow down, and the performance
+// cost is only the denied-energy proxy (RunResult.Slowdown). The
+// closed-loop counterpart is internal/coloop, the shared stepping core
+// under internal/runtime and internal/stream, where the supervisor's
+// scales stretch running tasks and its admission decisions delay
+// dispatches, both feeding back into the subsequent power the model
+// sees. A reactive Controller is adapted to the supervisor contract
+// behind the DefaultLadder shim; pass a Supervisor to RunSupervised
+// directly to control the ladder.
 func Run(model *hotspot.Model, ctrl Controller, samples [][]float64, dt float64) (*RunResult, error) {
 	if ctrl == nil {
 		return nil, fmt.Errorf("dtm: nil controller")
+	}
+	sup, ok := ctrl.(Supervisor)
+	if !ok {
+		var err error
+		if sup, err = Supervise(ctrl, DefaultLadder); err != nil {
+			return nil, err
+		}
+	}
+	return RunSupervised(model, sup, samples, dt)
+}
+
+// RunSupervised is Run with an explicit Supervisor: the same open-loop
+// transient study, additionally tallying the per-state dwell fractions
+// the supervisor's ladder induces.
+func RunSupervised(model *hotspot.Model, sup Supervisor, samples [][]float64, dt float64) (*RunResult, error) {
+	if sup == nil {
+		return nil, fmt.Errorf("dtm: nil supervisor")
 	}
 	tr, err := model.NewTransient(dt)
 	if err != nil {
 		return nil, err
 	}
-	ctrl.Reset()
+	sup.Reset()
 	n := model.NumBlocks()
 	scale := make([]float64, n)
 	for i := range scale {
@@ -260,18 +303,22 @@ func Run(model *hotspot.Model, ctrl Controller, samples [][]float64, dt float64)
 		if err := tr.StepVecInto(temps, scaled); err != nil {
 			return nil, err
 		}
-		for _, t := range temps {
+		for i, t := range temps {
 			if t > res.PeakTemp {
 				res.PeakTemp = t
 			}
+			res.StateFractions[sup.StateOf(i, temps)]++
 		}
-		if err := ctrl.ScaleInto(scale, temps); err != nil {
+		if err := sup.ScaleInto(scale, temps); err != nil {
 			return nil, err
 		}
 		res.Steps++
 	}
 	if res.Steps > 0 {
 		res.ThrottledFraction /= float64(res.Steps)
+		for i := range res.StateFractions {
+			res.StateFractions[i] /= float64(res.Steps * n)
+		}
 	}
 	return res, nil
 }

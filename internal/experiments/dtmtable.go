@@ -77,8 +77,12 @@ func (s *Suite) RunTableDTM(set DTMSettings) (*DTMTable, error) {
 			if err != nil {
 				return nil, err
 			}
+			sup, err := dtm.Supervise(ctrl, dtm.DefaultLadder)
+			if err != nil {
+				return nil, err
+			}
 			r, err := rt.Simulate(context.Background(), res.Schedule, res.Model, rt.Config{
-				DT: set.DT, TimeScale: set.TimeScale, Controller: ctrl,
+				DT: set.DT, TimeScale: set.TimeScale, Supervisor: sup,
 				Exec: sim.Options{MinFactor: 1},
 			})
 			if err != nil {

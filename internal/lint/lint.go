@@ -65,6 +65,7 @@ var corePackages = map[string]bool{
 	"experiments": true,
 	"search":      true,
 	"stream":      true,
+	"coloop":      true,
 }
 
 // modulePath is the import-path prefix of this repository.

@@ -30,6 +30,7 @@ import (
 	"math"
 	"sort"
 
+	"thermalsched/internal/coloop"
 	"thermalsched/internal/dtm"
 	"thermalsched/internal/hotspot"
 	"thermalsched/internal/sched"
@@ -40,15 +41,20 @@ import (
 type Config struct {
 	// DT is the co-simulation step in schedule time units: the executor
 	// advances by DT, then the thermal model steps once, then the
-	// controller updates the throttle scales for the next step (a
+	// supervisor updates the throttle scales for the next step (a
 	// one-step sensing delay, as in a real DTM loop).
 	DT float64
 	// TimeScale converts one schedule time unit into seconds of thermal
 	// simulation; the transient integrates with step DT × TimeScale.
 	TimeScale float64
-	// Controller throttles per-block power. Nil disables DTM — every PE
-	// runs at full speed, which is the unthrottled reference run.
-	Controller dtm.Controller
+	// Supervisor throttles per-block power and, when proactive
+	// (dtm.Supervisor.Proactive), gates task starts through admission
+	// queries: a denied PE holds its queue head until the supervisor's
+	// retry-after hint expires, waiting at full speed instead of
+	// starting and being throttled. Nil disables DTM — every PE runs at
+	// full speed, which is the unthrottled reference run. Reactive
+	// controllers adapt via dtm.Supervise.
+	Supervisor dtm.Supervisor
 	// Exec seeds the discrete-event executor: MinFactor, Seed and
 	// Conditional have the same meaning (and the same RNG draws) as in
 	// sim.Execute.
@@ -106,12 +112,13 @@ type Result struct {
 	// by. PerPEThrottle splits it by PE.
 	ThrottleTime  float64
 	PerPEThrottle []float64
+	// AdmissionDenials counts the admission queries a proactive
+	// supervisor denied — each denial holds a PE's queue head for the
+	// supervisor's retry-after hint. Zero under reactive controllers.
+	AdmissionDenials int
 	// DeadlineMet reports Makespan ≤ the graph's deadline.
 	DeadlineMet bool
 }
-
-// ctxCheckInterval is how many steps pass between context polls.
-const ctxCheckInterval = 256
 
 // completion tolerance: a task is done when its remaining work falls to
 // a rounding error of its realized duration.
@@ -134,22 +141,30 @@ func Simulate(ctx context.Context, s *sched.Schedule, model *hotspot.Model, cfg 
 	}
 
 	// PE → thermal block mapping, by name.
-	names := model.BlockNames()
-	blockOf := make(map[string]int, len(names))
-	for i, n := range names {
-		blockOf[n] = i
-	}
 	nPE := len(s.Arch.PEs)
-	peBlock := make([]int, nPE)
+	peNames := make([]string, nPE)
 	for i, pe := range s.Arch.PEs {
-		bi, ok := blockOf[pe.Name]
-		if !ok {
-			return nil, fmt.Errorf("runtime: PE %q has no block in the thermal model", pe.Name)
-		}
-		peBlock[i] = bi
+		peNames[i] = pe.Name
+	}
+	peBlock, err := coloop.PEBlocks(model, peNames)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: %w", err)
 	}
 
-	tr, err := model.NewTransient(cfg.DT * cfg.TimeScale)
+	maxSteps := cfg.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 64*int(math.Ceil(s.Makespan/cfg.DT)) + 4096
+	}
+
+	core, err := coloop.New(coloop.Config{
+		Model:      model,
+		PEBlock:    peBlock,
+		DT:         cfg.DT,
+		TimeScale:  cfg.TimeScale,
+		MaxSteps:   maxSteps,
+		Supervisor: cfg.Supervisor,
+		TrackPerPE: true,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -162,21 +177,32 @@ func Simulate(ctx context.Context, s *sched.Schedule, model *hotspot.Model, cfg 
 		for pe, w := range avg {
 			blockAvg[peBlock[pe]] += w
 		}
-		rise, err := model.SteadyNodeRise(blockAvg)
+		if err := core.WarmStart(blockAvg); err != nil {
+			return nil, err
+		}
+	}
+
+	// Proactive supervisors gate dispatch: forecast quotes the rise a
+	// candidate task's power causes on its PE's block within the task's
+	// WCET duration (the realized duration would be future knowledge);
+	// holdUntil[pe] is the retry-after hold a denial arms. Both stay
+	// nil for reactive supervisors, keeping the classic toggle/PI path
+	// byte-identical to the pre-supervisor loop.
+	var forecast *coloop.RiseForecaster
+	var holdUntil []float64
+	if cfg.Supervisor != nil && cfg.Supervisor.Proactive() {
+		var maxDur float64
+		for _, a := range s.Assignments {
+			if d := a.Finish - a.Start; d > maxDur {
+				maxDur = d
+			}
+		}
+		forecast, err = coloop.NewRiseForecaster(model, peBlock,
+			cfg.DT*cfg.TimeScale, maxDur*cfg.TimeScale)
 		if err != nil {
 			return nil, err
 		}
-		if err := tr.SetRise(rise); err != nil {
-			return nil, err
-		}
-	}
-	if cfg.Controller != nil {
-		cfg.Controller.Reset()
-	}
-
-	maxSteps := cfg.MaxSteps
-	if maxSteps == 0 {
-		maxSteps = 64*int(math.Ceil(s.Makespan/cfg.DT)) + 4096
+		holdUntil = make([]float64, nPE)
 	}
 
 	n := s.Graph.NumTasks()
@@ -190,20 +216,13 @@ func Simulate(ctx context.Context, s *sched.Schedule, model *hotspot.Model, cfg 
 		running[pe] = -1
 	}
 
-	nb := model.NumBlocks()
-	scale := make([]float64, nb) // per-block throttle factors for the current step
-	for i := range scale {
-		scale[i] = 1
-	}
-	stepEnergy := make([]float64, nPE)
-	blockPower := make([]float64, nb)
-	temps := make([]float64, nb)
+	// The core owns the outer DT loop and its buffers: Step fills
+	// core.StepEnergy and reads core.Scale, frozen for the step.
+	scale, stepEnergy := core.Scale, core.StepEnergy
 
 	res := &Result{
 		Records:       records,
-		PerPEEnergy:   make([]float64, nPE),
 		PerPEThrottle: make([]float64, nPE),
-		PeakTempC:     math.Inf(-1),
 	}
 
 	// readyAt computes when task id's inputs are available on PE pe; ok
@@ -231,30 +250,17 @@ func Simulate(ctx context.Context, s *sched.Schedule, model *hotspot.Model, cfg 
 	}
 
 	completed := 0
-	now := 0.0
-	for completed < n {
-		if res.Steps >= maxSteps {
-			return nil, fmt.Errorf("runtime: %d/%d tasks after %d steps — controller throttled the run to a standstill", completed, n, res.Steps)
-		}
-		if res.Steps%ctxCheckInterval == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("runtime: simulation cancelled: %w", err)
-			}
-		}
-		stepEnd := now + cfg.DT
-		for pe := range stepEnergy {
-			stepEnergy[pe] = 0
-		}
-
-		// Micro event loop inside [now, stepEnd): dispatch ready tasks,
-		// advance running ones at their PE's throttle rate, process
-		// completions, repeat. Scales are frozen for the step.
+	// step is the micro event loop inside [now, stepEnd): dispatch
+	// ready (and admitted) tasks, advance running ones at their PE's
+	// throttle rate, process completions, repeat. Scales and
+	// temperatures are frozen for the step.
+	step := func(now, stepEnd float64) error {
 		t := now
 		for {
 			// Dispatch to fixpoint: skipped branches complete instantly
 			// (which can unblock heads on other PEs within the same
 			// instant); runnable heads start once their inputs have
-			// arrived.
+			// arrived and the supervisor admits them.
 			for progressed := true; progressed; {
 				progressed = false
 				for pe := range queues {
@@ -272,6 +278,21 @@ func Simulate(ctx context.Context, s *sched.Schedule, model *hotspot.Model, cfg 
 						if !ok || ready > t {
 							break
 						}
+						if holdUntil != nil {
+							if holdUntil[pe] > t {
+								break // admission hold still running
+							}
+							a := s.Assignments[id]
+							adm := cfg.Supervisor.Admit(peBlock[pe], core.Temps,
+								forecast.Rise(pe, a.Power, (a.Finish-a.Start)*cfg.TimeScale), t)
+							if !adm.OK {
+								res.AdmissionDenials++
+								if adm.RetryAfter > 0 {
+									holdUntil[pe] = t + adm.RetryAfter
+								}
+								break
+							}
+						}
 						records[id] = sim.TaskRecord{
 							Task: id, PE: pe, Start: t,
 							Power: s.Assignments[id].Power,
@@ -284,11 +305,11 @@ func Simulate(ctx context.Context, s *sched.Schedule, model *hotspot.Model, cfg 
 				}
 			}
 			if completed == n {
-				break
+				return nil
 			}
 
-			// Next event: earliest completion or upcoming ready time,
-			// capped at the step boundary.
+			// Next event: earliest completion, upcoming ready time or
+			// expiring admission hold, capped at the step boundary.
 			event := stepEnd
 			for pe, id := range running {
 				if id < 0 {
@@ -310,7 +331,14 @@ func Simulate(ctx context.Context, s *sched.Schedule, model *hotspot.Model, cfg 
 				if !real.Executes[id] {
 					continue // handled by dispatch above
 				}
-				if ready, ok := readyAt(id, pe); ok && ready > t && ready < event {
+				ready, ok := readyAt(id, pe)
+				if !ok {
+					continue
+				}
+				if holdUntil != nil && holdUntil[pe] > ready {
+					ready = holdUntil[pe] // head waits out its admission hold
+				}
+				if ready > t && ready < event {
 					event = ready
 				}
 			}
@@ -347,36 +375,28 @@ func Simulate(ctx context.Context, s *sched.Schedule, model *hotspot.Model, cfg 
 				}
 			}
 			if t >= stepEnd {
-				break
+				return nil
 			}
 		}
-
-		// Thermal step over the energy the PEs actually drew, then the
-		// controller sets the next step's scales.
-		for i := range blockPower {
-			blockPower[i] = 0
-		}
-		for pe, e := range stepEnergy {
-			blockPower[peBlock[pe]] += e / cfg.DT
-			res.PerPEEnergy[pe] += e
-			res.Energy += e
-		}
-		if err := tr.StepVecInto(temps, blockPower); err != nil {
-			return nil, err
-		}
-		for _, tc := range temps {
-			if tc > res.PeakTempC {
-				res.PeakTempC = tc
-			}
-		}
-		if cfg.Controller != nil {
-			if err := cfg.Controller.ScaleInto(scale, temps); err != nil {
-				return nil, err
-			}
-		}
-		res.Steps++
-		now = stepEnd
 	}
+
+	err = core.Run(ctx, coloop.Hooks{
+		Done: func() bool { return completed >= n },
+		Step: step,
+		Stalled: func(steps int) error {
+			return fmt.Errorf("runtime: %d/%d tasks after %d steps — controller throttled the run to a standstill", completed, n, steps)
+		},
+		Cancelled: func(cause error) error {
+			return fmt.Errorf("runtime: simulation cancelled: %w", cause)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Energy = core.Energy
+	res.PerPEEnergy = core.PerPEEnergy
+	res.Steps = core.Steps
+	res.PeakTempC = core.PeakTempC
 
 	for _, r := range records {
 		if r.Skipped {

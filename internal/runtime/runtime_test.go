@@ -85,8 +85,12 @@ func TestThrottlingStretchesMakespan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	sup, err := dtm.Supervise(ctrl, dtm.DefaultLadder)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cfg := baseConfig()
-	cfg.Controller = ctrl
+	cfg.Supervisor = sup
 	throttled, err := Simulate(context.Background(), res.Schedule, res.Model, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -138,8 +142,12 @@ func TestStalledRunHitsStepBound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	sup, err := dtm.Supervise(ctrl, dtm.DefaultLadder)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cfg := baseConfig()
-	cfg.Controller = ctrl
+	cfg.Supervisor = sup
 	cfg.WarmStart = true // start hot so the trigger fires immediately
 	cfg.MaxSteps = 2000
 	if _, err := Simulate(context.Background(), res.Schedule, res.Model, cfg); err == nil {
@@ -168,6 +176,74 @@ func TestConfigValidation(t *testing.T) {
 		if _, err := Simulate(context.Background(), res.Schedule, res.Model, cfg); err == nil {
 			t.Errorf("bad config %d accepted", i)
 		}
+	}
+}
+
+// Supervisor state must never leak between Monte-Carlo replicas: the
+// core resets the supervisor before stepping, so running replica N on a
+// supervisor that already served N−1 other replicas is byte-identical
+// to running it on a fresh instance. Exercised for the two stateful
+// kinds — the PI controller's integral term and the admit controller's
+// retry-after embargoes.
+func TestSupervisorResetHygieneAcrossReplicas(t *testing.T) {
+	res := platformRun(t, "Bm1", sched.ThermalAware)
+	supervisors := map[string]func() dtm.Supervisor{
+		"pi": func() dtm.Supervisor {
+			ctrl, err := dtm.NewPIController(70, 0.05, 0.01, 0.2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sup, err := dtm.Supervise(ctrl, dtm.DefaultLadder)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sup
+		},
+		"admit": func() dtm.Supervisor {
+			sup, err := dtm.NewAdmitController(dtm.DefaultLadder, 0.7, 0.4, 2, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sup
+		},
+	}
+	run := func(sup dtm.Supervisor, seed int64) *Result {
+		t.Helper()
+		cfg := baseConfig()
+		cfg.Supervisor = sup
+		cfg.WarmStart = true // start hot so both kinds accumulate state
+		cfg.Exec = sim.Options{MinFactor: 0.6, Seed: seed}
+		r, err := Simulate(context.Background(), res.Schedule, res.Model, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	for name, build := range supervisors {
+		t.Run(name, func(t *testing.T) {
+			// Fresh instance per replica: the leak-free reference.
+			var want []*Result
+			for seed := int64(0); seed < 3; seed++ {
+				want = append(want, run(build(), seed))
+			}
+			// One shared instance across all replicas in sequence.
+			shared := build()
+			for seed := int64(0); seed < 3; seed++ {
+				got := run(shared, seed)
+				ref := want[seed]
+				if got.Makespan != ref.Makespan || got.PeakTempC != ref.PeakTempC ||
+					got.ThrottleTime != ref.ThrottleTime || got.Energy != ref.Energy ||
+					got.AdmissionDenials != ref.AdmissionDenials || got.Steps != ref.Steps {
+					t.Errorf("seed %d: replica after %d prior runs differs from fresh instance:\n got %+v\nwant %+v",
+						seed, seed, got, ref)
+				}
+				for id := range ref.Records {
+					if got.Records[id] != ref.Records[id] {
+						t.Errorf("seed %d: record %d differs between shared and fresh supervisor", seed, id)
+					}
+				}
+			}
+		})
 	}
 }
 

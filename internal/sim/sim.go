@@ -90,6 +90,21 @@ type Realization struct {
 // branch was drawn).
 func (r *Realization) Fired(from, to int) bool { return r.fired[[2]int{from, to}] }
 
+// DrawFactors draws n execution-time factors, uniform on
+// [minFactor, 1], consuming exactly one rng variate per factor in index
+// order. This is the single seeded duration-draw contract shared by the
+// batch realizer (Realize) and the online dispatcher (internal/stream):
+// both draw factor i for task/job i from the i-th variate of a source
+// seeded with their Seed verbatim, so the two subsystems realize
+// identical factor sequences from identical seeds.
+func DrawFactors(rng *rand.Rand, n int, minFactor float64) []float64 {
+	f := make([]float64, n)
+	for i := range f {
+		f[i] = minFactor + (1-minFactor)*rng.Float64()
+	}
+	return f
+}
+
 // Realize draws the seeded execution-time factors and branch decisions
 // for one run of the schedule.
 func Realize(s *sched.Schedule, opt Options) (*Realization, error) {
@@ -99,12 +114,13 @@ func Realize(s *sched.Schedule, opt Options) (*Realization, error) {
 	rng := rand.New(rand.NewSource(opt.Seed))
 	n := s.Graph.NumTasks()
 
-	// Actual durations, drawn in task-ID order for determinism.
+	// Actual durations: WCET × the shared factor draw, in task-ID order.
+	factors := DrawFactors(rng, n, opt.MinFactor)
 	actual := make([]float64, n)
 	for id := 0; id < n; id++ {
 		a := s.Assignments[id]
 		wcet := a.Finish - a.Start
-		actual[id] = wcet * (opt.MinFactor + (1-opt.MinFactor)*rng.Float64())
+		actual[id] = wcet * factors[id]
 	}
 
 	// Branch realization (conditional runs): per branch node, draw one

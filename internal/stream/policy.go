@@ -20,11 +20,22 @@ const (
 	// incrementally from the influence oracle — the online counterpart
 	// of the paper's thermal-aware list scheduler.
 	PolicyGreedy = "greedy"
+	// PolicyAdmit is PolicyGreedy gated by predictive admission: before
+	// a PE may take a job, the thermal supervisor forecasts the start's
+	// temperature rise and refuses it if the block would reach serious —
+	// the job waits at full speed instead of running into throttling.
+	// Requires a proactive Input.Supervisor and the influence oracle.
+	PolicyAdmit = "admit"
+	// PolicyZigzag is PolicyCoolest gated by idle-slack cooling in the
+	// style of Chrobak et al. (arXiv 0801.4238): a block that reaches
+	// serious is forced through a fixed cooling gap during which it
+	// takes no new work. Requires a proactive Input.Supervisor.
+	PolicyZigzag = "zigzag"
 )
 
 // Policies lists the online policy names in their canonical order.
 func Policies() []string {
-	return []string{PolicyFIFO, PolicyRandom, PolicyCoolest, PolicyGreedy}
+	return []string{PolicyFIFO, PolicyRandom, PolicyCoolest, PolicyGreedy, PolicyAdmit, PolicyZigzag}
 }
 
 // ParsePolicy canonicalizes an online policy name; empty means

@@ -28,8 +28,11 @@ import (
 	"math/rand"
 	"sort"
 
+	"thermalsched/internal/coloop"
+	"thermalsched/internal/dtm"
 	"thermalsched/internal/hotspot"
 	"thermalsched/internal/sched"
+	"thermalsched/internal/sim"
 	"thermalsched/internal/techlib"
 )
 
@@ -55,9 +58,18 @@ type Input struct {
 	// Model is the thermal RC model with one block per PE, by name.
 	Model *hotspot.Model
 	// Oracle is the incremental influence oracle over Model/Arch;
-	// required by PolicyGreedy, ignored by the other policies. It is
-	// used exclusively by this run (the oracle is not thread-safe).
+	// required by PolicyGreedy and PolicyAdmit, ignored by the other
+	// policies. It is used exclusively by this run (the oracle is not
+	// thread-safe).
 	Oracle *sched.ModelOracle
+	// Supervisor is the thermal supervisor gating dispatches. Jobs are
+	// non-preemptive and always run at nominal speed, so a supervisor
+	// acts on the stream purely through admission — refused starts
+	// insert idle slack (the zig-zag discipline) rather than stretching
+	// running jobs; the throttle factors it computes each step are not
+	// applied to running work. A proactive supervisor is required by
+	// PolicyAdmit and PolicyZigzag; nil disables supervision.
+	Supervisor dtm.Supervisor
 }
 
 // Config parameterizes one dispatch run.
@@ -141,15 +153,17 @@ type Result struct {
 	AvgTempC  float64
 	// Steps is the number of thermal co-simulation steps taken.
 	Steps int
+	// AdmissionDenials counts dispatch attempts the thermal supervisor
+	// refused (zero without a proactive supervisor). Re-asking a PE
+	// still under an admission hold counts again: the figure measures
+	// supervisor pressure on the dispatcher, not distinct holds.
+	AdmissionDenials int
 	// OfflineBound is the clairvoyant lower bound on the makespan of
 	// any offline schedule of the realized trace; Price is
 	// Makespan / OfflineBound, the price-of-onlineness ratio (≥ 1).
 	OfflineBound float64
 	Price        float64
 }
-
-// ctxCheckInterval is how many steps pass between context polls.
-const ctxCheckInterval = 256
 
 // Run dispatches the arrival trace online under the configured policy.
 // Cancelling ctx aborts the stepped loop promptly.
@@ -176,20 +190,27 @@ func Run(ctx context.Context, in Input, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("stream: job %d has invalid arrival/deadline (%g, %g)", i, j.Arrival, j.Deadline)
 		}
 	}
-	if policy == PolicyGreedy && in.Oracle == nil {
+	if (policy == PolicyGreedy || policy == PolicyAdmit) && in.Oracle == nil {
 		return nil, fmt.Errorf("stream: policy %q needs the influence oracle", policy)
+	}
+	proactive := in.Supervisor != nil && in.Supervisor.Proactive()
+	if (policy == PolicyAdmit || policy == PolicyZigzag) && !proactive {
+		return nil, fmt.Errorf("stream: policy %q needs a proactive thermal supervisor", policy)
 	}
 
 	// Realized durations: factor_j drawn in job-ID order from the seed,
-	// PE-independently — the same draw discipline as sim.Realize, so
-	// the trace realization never depends on placement decisions.
+	// PE-independently — sim.DrawFactors is the same draw contract as
+	// sim.Realize, so the trace realization never depends on placement
+	// decisions and matches the batch realizer variate for variate.
 	nPE := len(in.Arch.PEs)
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	factors := sim.DrawFactors(rng, n, cfg.MinFactor)
 	dur := make([]float64, n*nPE)  // realized duration of job j on PE p
+	wcet := make([]float64, n*nPE) // worst-case duration of job j on PE p
 	pow := make([]float64, n*nPE)  // nominal power of job j on PE p
 	capable := make([]bool, n*nPE) // lib coverage of (p.Type, j.Type)
 	for j, job := range in.Jobs {
-		f := cfg.MinFactor + (1-cfg.MinFactor)*rng.Float64()
+		f := factors[j]
 		any := false
 		for p, pe := range in.Arch.PEs {
 			e, ok := in.Lib.Lookup(pe.Type, job.Type)
@@ -197,6 +218,7 @@ func Run(ctx context.Context, in Input, cfg Config) (*Result, error) {
 				continue
 			}
 			dur[j*nPE+p] = e.WCET * f
+			wcet[j*nPE+p] = e.WCET
 			pow[j*nPE+p] = e.WCPC
 			capable[j*nPE+p] = true
 			any = true
@@ -208,23 +230,13 @@ func Run(ctx context.Context, in Input, cfg Config) (*Result, error) {
 	polrng := rand.New(rand.NewSource(cfg.Seed ^ placeSeedSalt))
 
 	// PE → thermal block mapping, by name.
-	names := in.Model.BlockNames()
-	blockOf := make(map[string]int, len(names))
-	for i, nm := range names {
-		blockOf[nm] = i
-	}
-	peBlock := make([]int, nPE)
+	peNames := make([]string, nPE)
 	for i, pe := range in.Arch.PEs {
-		bi, ok := blockOf[pe.Name]
-		if !ok {
-			return nil, fmt.Errorf("stream: PE %q has no block in the thermal model", pe.Name)
-		}
-		peBlock[i] = bi
+		peNames[i] = pe.Name
 	}
-
-	tr, err := in.Model.NewTransient(cfg.DT * cfg.TimeScale)
+	peBlock, err := coloop.PEBlocks(in.Model, peNames)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("stream: %w", err)
 	}
 
 	maxSteps := cfg.MaxSteps
@@ -243,6 +255,34 @@ func Run(ctx context.Context, in Input, cfg Config) (*Result, error) {
 		maxSteps = 4*int(math.Ceil((horizon+serial)/cfg.DT)) + 4096
 	}
 
+	core, err := coloop.New(coloop.Config{
+		Model:      in.Model,
+		PEBlock:    peBlock,
+		DT:         cfg.DT,
+		TimeScale:  cfg.TimeScale,
+		MaxSteps:   maxSteps,
+		Supervisor: in.Supervisor,
+	})
+	if err != nil {
+		return nil, err
+	}
+	temps := core.Temps // last sensed temperatures (ambient pre-start)
+
+	var forecast *coloop.RiseForecaster // duration-aware admission forecast
+	if proactive {
+		var maxWCET float64
+		for _, w := range wcet {
+			if w > maxWCET {
+				maxWCET = w
+			}
+		}
+		forecast, err = coloop.NewRiseForecaster(in.Model, peBlock,
+			cfg.DT*cfg.TimeScale, maxWCET*cfg.TimeScale)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	records := make([]JobRecord, n)
 	running := make([]int, nPE) // job on the PE, or -1
 	finishAt := make([]float64, nPE)
@@ -253,29 +293,39 @@ func Run(ctx context.Context, in Input, cfg Config) (*Result, error) {
 	var pending []int // released, unplaced job IDs
 
 	nb := in.Model.NumBlocks()
-	stepEnergy := make([]float64, nPE)
-	blockPower := make([]float64, nb)
-	temps := make([]float64, nb)
-	for i := range temps {
-		temps[i] = in.Model.Config().AmbientC
-	}
 
 	res := &Result{
 		Records:   records,
 		Jobs:      n,
 		PerPEBusy: make([]float64, nPE),
-		PeakTempC: math.Inf(-1),
 	}
 
-	edf := policy == PolicyCoolest || policy == PolicyGreedy
+	edf := policy != PolicyFIFO && policy != PolicyRandom
 
-	// pickPE chooses an idle capable PE for job j per the policy, or
-	// ok=false when none is idle and capable. The thermal policies read
+	// admits asks the supervisor whether job j may start on pe at time
+	// t, forecasting the block's rise as self-influence × job power
+	// saturated over the job's WCET (the realized duration is future
+	// knowledge). Reactive/no supervision always admits without a query.
+	admits := func(j, pe int, t float64) bool {
+		if !proactive {
+			return true
+		}
+		adm := in.Supervisor.Admit(peBlock[pe], temps,
+			forecast.Rise(pe, pow[j*nPE+pe], wcet[j*nPE+pe]*cfg.TimeScale), t)
+		if !adm.OK {
+			res.AdmissionDenials++
+			return false
+		}
+		return true
+	}
+
+	// pickPE chooses an idle capable (and admitted) PE for job j per the
+	// policy, or ok=false when none qualifies. The thermal policies read
 	// temps — last step's temperatures, the one-step sensing delay.
-	pickPE := func(j int) (int, bool, error) {
+	pickPE := func(j int, t float64) (int, bool, error) {
 		var idle []int
 		for pe := range running {
-			if running[pe] < 0 && capable[j*nPE+pe] {
+			if running[pe] < 0 && capable[j*nPE+pe] && admits(j, pe, t) {
 				idle = append(idle, pe)
 			}
 		}
@@ -287,7 +337,7 @@ func Run(ctx context.Context, in Input, cfg Config) (*Result, error) {
 			return idle[0], true, nil
 		case PolicyRandom:
 			return idle[polrng.Intn(len(idle))], true, nil
-		case PolicyCoolest:
+		case PolicyCoolest, PolicyZigzag:
 			best := idle[0]
 			for _, pe := range idle[1:] {
 				if temps[peBlock[pe]] < temps[peBlock[best]] {
@@ -295,7 +345,7 @@ func Run(ctx context.Context, in Input, cfg Config) (*Result, error) {
 				}
 			}
 			return best, true, nil
-		case PolicyGreedy:
+		case PolicyGreedy, PolicyAdmit:
 			// Predicted steady impact of adding the job's power on top
 			// of the currently running draw — O(PEs) per candidate via
 			// the influence rows.
@@ -330,7 +380,7 @@ func Run(ctx context.Context, in Input, cfg Config) (*Result, error) {
 				limit = len(pending)
 			}
 			for idx := 0; idx < limit; idx++ {
-				pe, ok, err := pickPE(pending[idx])
+				pe, ok, err := pickPE(pending[idx], t)
 				if err != nil {
 					return err
 				}
@@ -353,26 +403,13 @@ func Run(ctx context.Context, in Input, cfg Config) (*Result, error) {
 	}
 
 	released, completed := 0, 0
-	now := 0.0
 	avgAccum := 0.0
-	for completed < n {
-		if res.Steps >= maxSteps {
-			return nil, fmt.Errorf("stream: %d/%d jobs after %d steps", completed, n, res.Steps)
-		}
-		if res.Steps%ctxCheckInterval == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("stream: dispatch cancelled: %w", err)
-			}
-		}
-		stepEnd := now + cfg.DT
-		for pe := range stepEnergy {
-			stepEnergy[pe] = 0
-		}
 
-		// Micro event loop inside [now, stepEnd): completions free PEs,
-		// arrivals join the pending set, the policy dispatches, time
-		// advances to the next event. Temperatures are frozen for the
-		// step, exactly as in internal/runtime.
+	// Micro event loop inside [now, stepEnd): completions free PEs,
+	// arrivals join the pending set, the policy dispatches, time
+	// advances to the next event. Temperatures are frozen for the
+	// step, exactly as in internal/runtime.
+	step := func(now, stepEnd float64) error {
 		t := now
 		for {
 			for pe, j := range running {
@@ -398,7 +435,7 @@ func Run(ctx context.Context, in Input, cfg Config) (*Result, error) {
 				})
 			}
 			if err := dispatch(t); err != nil {
-				return nil, err
+				return err
 			}
 
 			event := stepEnd
@@ -413,7 +450,7 @@ func Run(ctx context.Context, in Input, cfg Config) (*Result, error) {
 			if dt := event - t; dt > 0 {
 				for pe, j := range running {
 					if j >= 0 {
-						stepEnergy[pe] += curPow[pe] * dt
+						core.StepEnergy[pe] += curPow[pe] * dt
 						res.PerPEBusy[pe] += dt
 					}
 				}
@@ -423,30 +460,32 @@ func Run(ctx context.Context, in Input, cfg Config) (*Result, error) {
 				break
 			}
 		}
-
-		// Thermal step over the energy the PEs actually drew; the new
-		// temperatures become visible to the policy next step.
-		for i := range blockPower {
-			blockPower[i] = 0
-		}
-		for pe, e := range stepEnergy {
-			blockPower[peBlock[pe]] += e / cfg.DT
-			res.Energy += e
-		}
-		if err := tr.StepVecInto(temps, blockPower); err != nil {
-			return nil, err
-		}
-		mean := 0.0
-		for _, tc := range temps {
-			if tc > res.PeakTempC {
-				res.PeakTempC = tc
-			}
-			mean += tc
-		}
-		avgAccum += mean / float64(nb)
-		res.Steps++
-		now = stepEnd
+		return nil
 	}
+
+	err = core.Run(ctx, coloop.Hooks{
+		Done: func() bool { return completed >= n },
+		Step: step,
+		Observe: func(temps []float64) {
+			mean := 0.0
+			for _, tc := range temps {
+				mean += tc
+			}
+			avgAccum += mean / float64(nb)
+		},
+		Stalled: func(steps int) error {
+			return fmt.Errorf("stream: %d/%d jobs after %d steps", completed, n, steps)
+		},
+		Cancelled: func(cause error) error {
+			return fmt.Errorf("stream: dispatch cancelled: %w", cause)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Energy = core.Energy
+	res.Steps = core.Steps
+	res.PeakTempC = core.PeakTempC
 
 	res.AvgTempC = avgAccum / float64(res.Steps)
 	sumResp := 0.0

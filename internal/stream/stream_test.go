@@ -2,13 +2,38 @@ package stream_test
 
 import (
 	"context"
+	"math/rand"
 	"testing"
 
 	"thermalsched/internal/cosynth"
+	"thermalsched/internal/dtm"
 	"thermalsched/internal/hotspot"
 	"thermalsched/internal/scenario"
+	"thermalsched/internal/sim"
 	"thermalsched/internal/stream"
 )
+
+// supervisorFor builds the proactive thermal supervisor the admit and
+// zigzag policies require; the reactive policies run unsupervised.
+func supervisorFor(t *testing.T, pol string, dt float64) dtm.Supervisor {
+	t.Helper()
+	switch pol {
+	case stream.PolicyAdmit:
+		sup, err := dtm.NewAdmitController(dtm.DefaultLadder, 0.7, 0.4, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sup
+	case stream.PolicyZigzag:
+		sup, err := dtm.NewZigZagController(dtm.DefaultLadder, 5, dt, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sup
+	default:
+		return nil
+	}
+}
 
 // testInput builds a dispatch input from a generated stream workload,
 // through the same substrate construction the engine's stream flow
@@ -49,7 +74,9 @@ func TestRunScheduleValidity(t *testing.T) {
 	spec := scenario.StreamSpec{Seed: 9, Arrivals: scenario.ArrivalParams{Rate: 0.07}}
 	in := testInput(t, spec)
 	for _, pol := range stream.Policies() {
-		res, err := stream.Run(context.Background(), in, stream.Config{
+		sin := in
+		sin.Supervisor = supervisorFor(t, pol, 1)
+		res, err := stream.Run(context.Background(), sin, stream.Config{
 			Policy: pol, DT: 1, TimeScale: 0.1, MinFactor: 0.7, Seed: 5,
 		})
 		if err != nil {
@@ -98,7 +125,9 @@ func TestRunOfflineBoundIsLowerBound(t *testing.T) {
 	for _, seed := range []int64{0, 1, 2} {
 		in := testInput(t, scenario.StreamSpec{Seed: seed})
 		for _, pol := range stream.Policies() {
-			res, err := stream.Run(context.Background(), in, stream.Config{
+			sin := in
+			sin.Supervisor = supervisorFor(t, pol, 1)
+			res, err := stream.Run(context.Background(), sin, stream.Config{
 				Policy: pol, DT: 1, TimeScale: 0.1, MinFactor: 0.8, Seed: seed,
 			})
 			if err != nil {
@@ -196,6 +225,38 @@ func TestRunInputValidation(t *testing.T) {
 		Policy: stream.PolicyGreedy, DT: 1, TimeScale: 0.1, MinFactor: 1,
 	}); err == nil {
 		t.Error("greedy without an oracle accepted")
+	}
+}
+
+// The dispatcher and the batch realizer share one seeded duration-draw
+// contract (sim.DrawFactors): factor j comes from the j-th variate of a
+// source seeded with the run seed verbatim. Every record's realized
+// duration must therefore equal WCET × the factor an independent
+// DrawFactors call reproduces — exactly, not approximately.
+func TestRunSharesRealizerDrawContract(t *testing.T) {
+	in := testInput(t, scenario.StreamSpec{Seed: 4})
+	for _, seed := range []int64{0, 1, 11} {
+		const minFactor = 0.6
+		res, err := stream.Run(context.Background(), in, stream.Config{
+			Policy: stream.PolicyFIFO, DT: 1, TimeScale: 0.1, MinFactor: minFactor, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		factors := sim.DrawFactors(rand.New(rand.NewSource(seed)), len(in.Jobs), minFactor)
+		for j, rec := range res.Records {
+			e, ok := in.Lib.Lookup(in.Arch.PEs[rec.PE].Type, in.Jobs[j].Type)
+			if !ok {
+				t.Fatalf("seed %d: job %d ran on incapable PE %d", seed, j, rec.PE)
+			}
+			want := e.WCET * factors[j]
+			// Finish is computed as start + duration, so compare in that
+			// association — bit-exact, no epsilon.
+			if rec.Finish != rec.Start+want {
+				t.Errorf("seed %d: job %d realized duration %g, want WCET %g × shared factor %g = %g",
+					seed, j, rec.Finish-rec.Start, e.WCET, factors[j], want)
+			}
+		}
 	}
 }
 

@@ -193,13 +193,20 @@ func (s *DTMSpec) withDefaults() DTMSpec {
 // SimulateSpec parameterizes the FlowSimulate closed-loop co-simulation.
 // The zero value uses the documented defaults.
 type SimulateSpec struct {
-	// Controller is "toggle" (default), "pi", or "none" (no throttling —
-	// the unthrottled reference run).
+	// Controller selects the thermal supervisor: "toggle" (default) and
+	// "pi" are the reactive controllers; "admit" is predictive admission
+	// control (task starts are refused when the influence-forecast rise
+	// would push the PE's block to the serious state, with graduated
+	// throttling as a safety net); "zigzag" forces fixed idle cooling
+	// gaps on blocks that reach serious (Chrobak et al., arXiv
+	// 0801.4238); "none" disables thermal management — the unthrottled
+	// reference run.
 	Controller string `json:"controller,omitempty"`
 	// TriggerC, Hysteresis and Throttle parameterize the toggle
 	// controller. Defaults: 80 °C trigger, 2 °C hysteresis, 0.5 throttle
 	// — the trigger sits just below the paper benchmarks' steady-state
-	// peaks, so a thermally unbalanced schedule throttles visibly.
+	// peaks, so a thermally unbalanced schedule throttles visibly. The
+	// admit controller shares Hysteresis as its state-demotion margin.
 	TriggerC   float64 `json:"triggerC,omitempty"`
 	Hysteresis float64 `json:"hysteresis,omitempty"`
 	Throttle   float64 `json:"throttle,omitempty"`
@@ -209,6 +216,26 @@ type SimulateSpec struct {
 	Kp        float64 `json:"kp,omitempty"`
 	Ki        float64 `json:"ki,omitempty"`
 	MinScale  float64 `json:"minScale,omitempty"`
+	// FairC, SeriousC and CriticalC are the supervisor's thermal-state
+	// ladder — the ascending thresholds splitting temperatures into
+	// nominal/fair/serious/critical. Defaults: 72/80/88 °C (serious at
+	// the historical toggle trigger). Every controller classifies on the
+	// ladder; admit and zigzag additionally deny admissions from it.
+	FairC     float64 `json:"fairC,omitempty"`
+	SeriousC  float64 `json:"seriousC,omitempty"`
+	CriticalC float64 `json:"criticalC,omitempty"`
+	// SeriousScale and CriticalScale are the admit controller's
+	// graduated safety-net throttle factors for blocks that reach the
+	// corresponding state despite admission control (defaults 0.7, 0.4).
+	SeriousScale  float64 `json:"seriousScale,omitempty"`
+	CriticalScale float64 `json:"criticalScale,omitempty"`
+	// RetryAfter is the admit controller's admission-hold length in
+	// schedule time units: a denied PE refuses further starts for this
+	// long before the forecast is consulted again (default 2).
+	RetryAfter float64 `json:"retryAfter,omitempty"`
+	// CoolTime is the zigzag controller's forced cooling-gap length in
+	// schedule time units (default 5), rounded up to whole DT steps.
+	CoolTime float64 `json:"coolTime,omitempty"`
 	// DT is the co-simulation step in schedule time units (default 1);
 	// TimeScale converts one schedule time unit to seconds of transient
 	// simulation (default 0.1).
@@ -267,6 +294,27 @@ func (s *SimulateSpec) withDefaults() SimulateSpec {
 	if out.MinScale == 0 {
 		out.MinScale = 0.1
 	}
+	if out.FairC == 0 {
+		out.FairC = 72
+	}
+	if out.SeriousC == 0 {
+		out.SeriousC = 80
+	}
+	if out.CriticalC == 0 {
+		out.CriticalC = 88
+	}
+	if out.SeriousScale == 0 {
+		out.SeriousScale = 0.7
+	}
+	if out.CriticalScale == 0 {
+		out.CriticalScale = 0.4
+	}
+	if out.RetryAfter == 0 {
+		out.RetryAfter = 2
+	}
+	if out.CoolTime == 0 {
+		out.CoolTime = 5
+	}
 	if out.DT == 0 {
 		out.DT = 1
 	}
@@ -280,6 +328,12 @@ func (s *SimulateSpec) withDefaults() SimulateSpec {
 		out.Replicas = 1
 	}
 	return out
+}
+
+// ladder lowers the spec's thermal-state thresholds. Call on a
+// withDefaults() copy.
+func (s SimulateSpec) ladder() Ladder {
+	return Ladder{FairC: s.FairC, SeriousC: s.SeriousC, CriticalC: s.CriticalC}
 }
 
 // Request is one JSON-serializable unit of work for an Engine. Build it
@@ -320,13 +374,15 @@ type Request struct {
 	MaxPEs               int      `json:"maxPEs,omitempty"`
 	CandidateTypes       []string `json:"candidateTypes,omitempty"`
 	FloorplanGenerations int      `json:"floorplanGenerations,omitempty"`
-	// Parallelism overrides the engine's search parallelism for this
-	// request: the bound on concurrent candidate-architecture and
+	// Parallelism overrides the engine's parallelism for this request:
+	// the bound on concurrent candidate-architecture and
 	// floorplan-packing evaluations of the search-driven cosynthesis
-	// flow (Validate rejects it on other flows, which never consume
-	// it). 0 uses the engine's setting (WithSearchParallelism, default
-	// GOMAXPROCS); 1 forces the serial search. Results are
-	// byte-identical at every value — only wall-clock changes.
+	// flow, and on concurrent Monte-Carlo replicas of the simulate and
+	// stream flows (Validate rejects it on other flows, which never
+	// consume it). 0 uses the engine's setting (WithSearchParallelism /
+	// WithWorkers, default GOMAXPROCS); 1 forces the serial path.
+	// Results are byte-identical at every value — only wall-clock
+	// changes.
 	Parallelism int `json:"parallelism,omitempty"`
 	// Seed drives the GA floorplanner (FlowCoSynthesis) or the graph
 	// generator (FlowSweep). Nil keeps the historical default (1); an
@@ -608,7 +664,7 @@ func (r *Request) Validate() error {
 		return fieldErr("parallelism", "negative parallelism %d", r.Parallelism)
 	}
 	if r.Parallelism > 0 && !fs.parallelism {
-		return fieldErr("parallelism", "parallelism on a %q request (only the cosynthesis and stream flows consume it)", r.Flow)
+		return fieldErr("parallelism", "parallelism on a %q request (only the cosynthesis, simulate and stream flows consume it)", r.Flow)
 	}
 	switch r.Solver {
 	case "", hotspot.SolverDense, hotspot.SolverSparse, hotspot.SolverPCG:

@@ -96,6 +96,10 @@ type SimulateReport struct {
 	MeanSteps float64 `json:"meanSteps"`
 	// MeanEnergy is the average delivered energy per replica.
 	MeanEnergy float64 `json:"meanEnergy"`
+	// MeanAdmissionDenials is the average number of dispatch attempts
+	// the thermal supervisor refused per replica. Omitted for the
+	// reactive controllers (toggle, pi, none), which never deny.
+	MeanAdmissionDenials float64 `json:"meanAdmissionDenials,omitempty"`
 }
 
 // Response is the JSON-serializable outcome of one Engine request. The

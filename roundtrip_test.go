@@ -117,6 +117,48 @@ func TestGenerateResponseIdenticalAcrossSurfaces(t *testing.T) {
 			"-seed", "11", "-json"})
 }
 
+// The proactive controller kinds must round-trip like the reactive
+// ones: same spec (admission knobs included), same denials count, same
+// bytes on every surface.
+func TestSimulateAdmitResponseIdenticalAcrossSurfaces(t *testing.T) {
+	crossSurface(t,
+		thermalsched.NewRequest(thermalsched.FlowSimulate,
+			thermalsched.WithBenchmark("Bm2"),
+			thermalsched.WithPolicy(thermalsched.ThermalAware),
+			thermalsched.WithSimulate(thermalsched.SimulateSpec{
+				Controller: "admit", Replicas: 3, Seed: 5, MinFactor: 0.8, WarmStart: true,
+			}),
+		),
+		[]string{"-flow", "simulate", "-benchmark", "Bm2", "-policy", "thermal",
+			"-controller", "admit", "-warmstart",
+			"-replicas", "3", "-seed", "5", "-minfactor", "0.8", "-json"})
+}
+
+func TestSimulateZigzagResponseIdenticalAcrossSurfaces(t *testing.T) {
+	crossSurface(t,
+		thermalsched.NewRequest(thermalsched.FlowSimulate,
+			thermalsched.WithBenchmark("Bm2"),
+			thermalsched.WithPolicy(thermalsched.ThermalAware),
+			thermalsched.WithSimulate(thermalsched.SimulateSpec{
+				Controller: "zigzag", Replicas: 2, Seed: 5, MinFactor: 0.8, WarmStart: true, CoolTime: 3,
+			}),
+		),
+		[]string{"-flow", "simulate", "-benchmark", "Bm2", "-policy", "thermal",
+			"-controller", "zigzag", "-warmstart", "-cooltime", "3",
+			"-replicas", "2", "-seed", "5", "-minfactor", "0.8", "-json"})
+}
+
+func TestStreamAdmitResponseIdenticalAcrossSurfaces(t *testing.T) {
+	req := thermalsched.NewRequest(thermalsched.FlowStream,
+		thermalsched.WithStream(thermalsched.StreamSpec{
+			Seed: 3, MinFactor: 0.8, Replicas: 2,
+		}))
+	req.Policy = thermalsched.StreamPolicyAdmit
+	crossSurface(t, req,
+		[]string{"-flow", "stream", "-policy", "admit", "-seed", "3",
+			"-minfactor", "0.8", "-replicas", "2", "-json"})
+}
+
 func TestStreamResponseIdenticalAcrossSurfaces(t *testing.T) {
 	crossSurface(t,
 		thermalsched.NewRequest(thermalsched.FlowStream,

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"thermalsched/internal/cosynth"
+	"thermalsched/internal/dtm"
 	"thermalsched/internal/scenario"
 	"thermalsched/internal/sched"
 	"thermalsched/internal/stream"
@@ -34,6 +35,12 @@ const (
 	StreamPolicyRandom  = stream.PolicyRandom
 	StreamPolicyCoolest = stream.PolicyCoolest
 	StreamPolicyGreedy  = stream.PolicyGreedy
+	// StreamPolicyAdmit is PolicyGreedy gated by predictive admission
+	// control; StreamPolicyZigzag is PolicyCoolest gated by forced
+	// idle-slack cooling gaps. Both build their thermal supervisor from
+	// the stream spec's ladder knobs.
+	StreamPolicyAdmit  = stream.PolicyAdmit
+	StreamPolicyZigzag = stream.PolicyZigzag
 )
 
 // StreamPolicies lists the online policy names in canonical order.
@@ -70,6 +77,29 @@ type StreamSpec struct {
 	// across the engine's worker pool (default 1, at most
 	// MaxSimulateReplicas).
 	Replicas int `json:"replicas,omitempty"`
+	// FairC, SeriousC and CriticalC are the thermal supervisor's state
+	// ladder (defaults 72/80/88 °C), consumed by the admit and zigzag
+	// policies; the other policies never build a supervisor.
+	FairC     float64 `json:"fairC,omitempty"`
+	SeriousC  float64 `json:"seriousC,omitempty"`
+	CriticalC float64 `json:"criticalC,omitempty"`
+	// SeriousScale and CriticalScale are the admit policy's graduated
+	// safety-net throttle factors (defaults 0.7, 0.4). Stream jobs are
+	// non-preemptive and run at nominal speed, so on this flow the
+	// factors only shape the supervisor's state bookkeeping — admission
+	// denial is how the supervisor acts on the dispatcher.
+	SeriousScale  float64 `json:"seriousScale,omitempty"`
+	CriticalScale float64 `json:"criticalScale,omitempty"`
+	// RetryAfter is the admit policy's admission-hold length in schedule
+	// time units (default 2).
+	RetryAfter float64 `json:"retryAfter,omitempty"`
+	// Hysteresis is the admit policy's state-demotion margin in °C
+	// (default 2): a block leaves a thermal state only after cooling
+	// that far below the state's entry threshold.
+	Hysteresis float64 `json:"hysteresis,omitempty"`
+	// CoolTime is the zigzag policy's forced cooling-gap length in
+	// schedule time units (default 5), rounded up to whole DT steps.
+	CoolTime float64 `json:"coolTime,omitempty"`
 }
 
 func (s *StreamSpec) withDefaults() StreamSpec {
@@ -88,6 +118,30 @@ func (s *StreamSpec) withDefaults() StreamSpec {
 	}
 	if out.Replicas == 0 {
 		out.Replicas = 1
+	}
+	if out.FairC == 0 {
+		out.FairC = 72
+	}
+	if out.SeriousC == 0 {
+		out.SeriousC = 80
+	}
+	if out.CriticalC == 0 {
+		out.CriticalC = 88
+	}
+	if out.SeriousScale == 0 {
+		out.SeriousScale = 0.7
+	}
+	if out.CriticalScale == 0 {
+		out.CriticalScale = 0.4
+	}
+	if out.RetryAfter == 0 {
+		out.RetryAfter = 2
+	}
+	if out.Hysteresis == 0 {
+		out.Hysteresis = 2
+	}
+	if out.CoolTime == 0 {
+		out.CoolTime = 5
 	}
 	return out
 }
@@ -123,7 +177,11 @@ func (s *StreamSpec) validate() error {
 	if n.Replicas > MaxSimulateReplicas {
 		return fieldErr("stream.replicas", "%d replicas exceed the limit %d", n.Replicas, MaxSimulateReplicas)
 	}
-	return nil
+	if n.Hysteresis < 0 {
+		return fieldErr("stream.hysteresis", "negative hysteresis %g", s.Hysteresis)
+	}
+	return validateSupervisorKnobs("stream", n.FairC, n.SeriousC, n.CriticalC,
+		n.SeriousScale, n.CriticalScale, n.RetryAfter, n.CoolTime)
 }
 
 // fingerprint digests the normalized spec, field by field: the workload
@@ -136,9 +194,33 @@ func (s *StreamSpec) fingerprint() string {
 	n := s.withDefaults()
 	ws := scenario.StreamSpec{Name: n.Name, Seed: n.Seed, Arrivals: n.Arrivals, Platform: n.Platform}
 	h := fnv.New64a()
-	fmt.Fprintf(h, "streamreq/v1|%s|%g|%g|%g|%d|%d",
-		ws.Fingerprint(), n.DT, n.TimeScale, n.MinFactor, n.SimSeed, n.Replicas)
+	fmt.Fprintf(h, "streamreq/v3|%s|%g|%g|%g|%d|%d|%g|%g|%g|%g|%g|%g|%g|%g",
+		ws.Fingerprint(), n.DT, n.TimeScale, n.MinFactor, n.SimSeed, n.Replicas,
+		n.FairC, n.SeriousC, n.CriticalC, n.SeriousScale, n.CriticalScale, n.RetryAfter,
+		n.Hysteresis, n.CoolTime)
 	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// ladder lowers the spec's thermal-state thresholds. Call on a
+// withDefaults() copy.
+func (s StreamSpec) ladder() Ladder {
+	return Ladder{FairC: s.FairC, SeriousC: s.SeriousC, CriticalC: s.CriticalC}
+}
+
+// streamSupervisor materializes a fresh thermal supervisor for one
+// dispatch replica of the policy, or nil for the policies that run
+// unsupervised. Each replica gets its own instance: supervisors carry
+// per-run state (admission holds, cooling gaps) and are not safe for
+// concurrent use. Call on a withDefaults() spec.
+func streamSupervisor(policy string, spec StreamSpec) (ThermalSupervisor, error) {
+	switch policy {
+	case stream.PolicyAdmit:
+		return dtm.NewAdmitController(spec.ladder(), spec.SeriousScale, spec.CriticalScale, spec.RetryAfter, spec.Hysteresis)
+	case stream.PolicyZigzag:
+		// A true idle gap (CoolScale 0), one supervisor step per DT.
+		return dtm.NewZigZagController(spec.ladder(), spec.CoolTime, spec.DT, 0)
+	}
+	return nil, nil
 }
 
 // GenerateStreamWorkload builds the workload described by the spec's
@@ -203,6 +285,10 @@ type StreamReport struct {
 	// steps per replica.
 	MeanEnergy float64 `json:"meanEnergy"`
 	MeanSteps  float64 `json:"meanSteps"`
+	// MeanAdmissionDenials is the average number of dispatch attempts
+	// the thermal supervisor refused per replica. Omitted for the
+	// unsupervised policies, which never deny.
+	MeanAdmissionDenials float64 `json:"meanAdmissionDenials,omitempty"`
 }
 
 // runStreamFlow resolves the workload, builds its platform substrate
@@ -238,20 +324,26 @@ func (e *Engine) runStreamFlow(ctx context.Context, req *Request) (*Response, er
 	results := make([]*stream.Result, spec.Replicas)
 	errs := make([]error, spec.Replicas)
 	runReplica := func(i int) {
-		// Each replica gets its own influence oracle: the oracle is
-		// incremental state, not safe for concurrent use, and rows are
-		// built lazily so unused policies pay nothing.
+		// Each replica gets its own influence oracle and supervisor:
+		// both are incremental state, not safe for concurrent use, and
+		// oracle rows are built lazily so unused policies pay nothing.
 		oracle, err := sched.NewModelOracle(model, arch)
 		if err != nil {
 			errs[i] = err
 			return
 		}
+		sup, err := streamSupervisor(policy, spec)
+		if err != nil {
+			errs[i] = err
+			return
+		}
 		results[i], errs[i] = stream.Run(ctx, stream.Input{
-			Jobs:   jobs,
-			Lib:    wl.Lib,
-			Arch:   arch,
-			Model:  model,
-			Oracle: oracle,
+			Jobs:       jobs,
+			Lib:        wl.Lib,
+			Arch:       arch,
+			Model:      model,
+			Oracle:     oracle,
+			Supervisor: sup,
 		}, stream.Config{
 			Policy:    policy,
 			DT:        spec.DT,
@@ -305,7 +397,7 @@ func (e *Engine) runStreamFlow(ctx context.Context, req *Request) (*Response, er
 	latenesses := make([]float64, spec.Replicas)
 	bounds := make([]float64, spec.Replicas)
 	prices := make([]float64, spec.Replicas)
-	steps, energy := 0, 0.0
+	steps, energy, denials := 0, 0.0, 0
 	for i, r := range results {
 		makespans[i] = r.Makespan
 		peaks[i] = r.PeakTempC
@@ -317,26 +409,28 @@ func (e *Engine) runStreamFlow(ctx context.Context, req *Request) (*Response, er
 		prices[i] = r.Price
 		steps += r.Steps
 		energy += r.Energy
+		denials += r.AdmissionDenials
 	}
 	n := float64(spec.Replicas)
 	report := &StreamReport{
-		Policy:        policy,
-		Replicas:      spec.Replicas,
-		Jobs:          len(wl.Jobs),
-		PeriodicJobs:  wl.Periodic,
-		AperiodicJobs: wl.Aperiodic,
-		Horizon:       wl.Spec.Arrivals.Horizon,
-		PEs:           len(wl.PETypeNames),
-		Makespan:      statsOf(makespans),
-		PeakTempC:     statsOf(peaks),
-		AvgTempC:      statsOf(avgs),
-		MissRate:      statsOf(missRates),
-		MeanResponse:  statsOf(responses),
-		MaxLateness:   statsOf(latenesses),
-		OfflineBound:  statsOf(bounds),
-		Price:         statsOf(prices),
-		MeanEnergy:    energy / n,
-		MeanSteps:     float64(steps) / n,
+		Policy:               policy,
+		Replicas:             spec.Replicas,
+		Jobs:                 len(wl.Jobs),
+		PeriodicJobs:         wl.Periodic,
+		AperiodicJobs:        wl.Aperiodic,
+		Horizon:              wl.Spec.Arrivals.Horizon,
+		PEs:                  len(wl.PETypeNames),
+		Makespan:             statsOf(makespans),
+		PeakTempC:            statsOf(peaks),
+		AvgTempC:             statsOf(avgs),
+		MissRate:             statsOf(missRates),
+		MeanResponse:         statsOf(responses),
+		MaxLateness:          statsOf(latenesses),
+		OfflineBound:         statsOf(bounds),
+		Price:                statsOf(prices),
+		MeanEnergy:           energy / n,
+		MeanSteps:            float64(steps) / n,
+		MeanAdmissionDenials: float64(denials) / n,
 	}
 	return &Response{
 		Flow:        FlowStream,

@@ -252,7 +252,39 @@ type (
 	DTMController = dtm.Controller
 	// DTMResult summarizes a DTM transient run.
 	DTMResult = dtm.RunResult
+	// ThermalSupervisor is the widened thermal-management contract: a
+	// DTMController that also classifies block temperatures into
+	// graduated thermal states and answers admission queries.
+	ThermalSupervisor = dtm.Supervisor
+	// ThermalState is one rung of the supervisor's temperature ladder
+	// (nominal, fair, serious, critical).
+	ThermalState = dtm.ThermalState
+	// Ladder holds the ascending fair/serious/critical thresholds that
+	// split the temperature axis into the four thermal states.
+	Ladder = dtm.Ladder
 )
+
+// SuperviseDTM adapts a reactive DTM controller to the supervisor
+// contract: scaling works as before and every admission is granted.
+func SuperviseDTM(c DTMController, l Ladder) (ThermalSupervisor, error) {
+	return dtm.Supervise(c, l)
+}
+
+// NewAdmitDTM returns the predictive admission-control supervisor:
+// starts forecast to push a block to the serious state are refused for
+// retryAfter time units, with graduated throttling as a safety net.
+// State demotions carry hysteresis °C of stickiness, matching the
+// reactive toggle's trip-and-release shape.
+func NewAdmitDTM(l Ladder, seriousScale, criticalScale, retryAfter, hysteresis float64) (ThermalSupervisor, error) {
+	return dtm.NewAdmitController(l, seriousScale, criticalScale, retryAfter, hysteresis)
+}
+
+// NewZigZagDTM returns the idle-slack cooling supervisor (Chrobak et
+// al., arXiv 0801.4238): a block reaching serious is forced through a
+// coolTime-long gap at coolScale power, refusing new starts meanwhile.
+func NewZigZagDTM(l Ladder, coolTime, stepTime, coolScale float64) (ThermalSupervisor, error) {
+	return dtm.NewZigZagController(l, coolTime, stepTime, coolScale)
+}
 
 // ExecuteSchedule replays a schedule with actual (≤ WCET) execution
 // times and reports the realized timing, energy and power trace.
